@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Conference session scheduling with fairness guarantees.
+
+The committee coordination problem is literally a scheduling problem: program
+committee members ("professors") sit on several track committees, track
+meetings need *every* member present (Synchronization), a member cannot be in
+two meetings at once (Exclusion), and every track should eventually get its
+meeting (fairness).
+
+This example builds a small conference with overlapping track committees,
+runs both ``CC1`` (maximal concurrency, no fairness guarantee) and ``CC2``
+(professor fairness) on the same workload, and contrasts
+
+* how many track meetings each algorithm gets through per round, and
+* whether any track or member is starved.
+
+Run with::
+
+    python examples/conference_sessions.py
+"""
+
+from __future__ import annotations
+
+from repro import CommitteeCoordinator, Hypergraph
+from repro.analysis.report import format_table
+from repro.spec.fairness import professor_fairness_counts
+
+
+#: Program-committee members (ids double as seniority: higher id = more senior).
+MEMBERS = {
+    1: "Ada", 2: "Barbara", 3: "Charles", 4: "Donald", 5: "Edsger",
+    6: "Frances", 7: "Grace", 8: "Hedy", 9: "Ivan", 10: "John",
+}
+
+#: Track committees: each track needs all of its members to meet.
+TRACKS = {
+    "systems":     [1, 2, 3],
+    "theory":      [3, 4, 5],
+    "networks":    [5, 6],
+    "security":    [6, 7, 8],
+    "databases":   [8, 9],
+    "ml":          [9, 10, 1],
+    "steering":    [2, 5, 8],
+}
+
+
+def build_conference() -> Hypergraph:
+    return Hypergraph(MEMBERS.keys(), TRACKS.values())
+
+
+def run(algorithm: str, steps: int = 2500) -> dict:
+    hypergraph = build_conference()
+    coordinator = CommitteeCoordinator(hypergraph, algorithm=algorithm, seed=7)
+    outcome = coordinator.run(max_steps=steps, discussion_steps=2)
+    fairness = professor_fairness_counts(outcome.trace, hypergraph)
+
+    track_meetings = {}
+    for name, members in TRACKS.items():
+        key = tuple(sorted(members))
+        track_meetings[name] = fairness.per_committee.get(key, 0)
+
+    starved_members = [MEMBERS[p] for p in fairness.starved_professors]
+    return {
+        "algorithm": algorithm,
+        "meetings": outcome.meetings_convened,
+        "rounds": outcome.rounds,
+        "meetings/round": round(outcome.meetings_convened / max(1, outcome.rounds), 3),
+        "starved members": ", ".join(starved_members) if starved_members else "none",
+        "least-served track": min(track_meetings, key=track_meetings.get),
+        "its meetings": min(track_meetings.values()),
+        "busiest track meetings": max(track_meetings.values()),
+    }
+
+
+def main() -> None:
+    hypergraph = build_conference()
+    print("Conference with", hypergraph.n, "PC members and", hypergraph.m, "track committees.")
+    print("Tracks:")
+    for name, members in TRACKS.items():
+        print(f"  {name:10s}: {', '.join(MEMBERS[m] for m in sorted(members))}")
+    print()
+
+    rows = [run("cc1"), run("cc2"), run("cc3")]
+    print(format_table(rows, title="CC1 (max concurrency) vs CC2 (professor fairness) vs CC3 (committee fairness)"))
+
+    print("Reading the table: CC1 may leave a track under-served under contention;")
+    print("CC2 guarantees every member keeps attending meetings; CC3 additionally")
+    print("cycles through every track committee of the token holder.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Snap-stabilization in action: transient faults and immediate recovery.
+
+Snap-stabilization (Section 2.5) promises that *every meeting convened after
+the last transient fault* satisfies the full specification -- no stabilization
+delay during which convened meetings might be bogus, unlike plain
+self-stabilization.
+
+This example
+
+1. runs ``CC2 ∘ TC`` from a *completely arbitrary* configuration (statuses,
+   pointers, token counters and lock bits all random -- the aftermath of a
+   burst of memory corruptions),
+2. lets it run, collecting every meeting that convenes,
+3. re-checks Exclusion, Synchronization and the 2-Phase Discussion on the
+   recorded trace, and
+4. injects a second burst of faults mid-run and repeats the check on the
+   suffix,
+
+showing that the safety properties hold for every convened meeting even
+though the run never had a clean start.
+
+Run with::
+
+    python examples/fault_recovery.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import CC2Algorithm, TokenBinding, TreeTokenCirculation, figure3_hypergraph
+from repro.analysis.report import format_table
+from repro.kernel.daemon import default_daemon
+from repro.kernel.faults import FaultInjector
+from repro.kernel.scheduler import Scheduler
+from repro.spec.discussion import check_essential_discussion, check_voluntary_discussion
+from repro.spec.events import convened_meetings
+from repro.spec.properties import check_exclusion, check_synchronization
+from repro.workloads.request_models import AlwaysRequestingEnvironment
+
+
+def check_trace(trace, hypergraph, label: str) -> dict:
+    convened = convened_meetings(trace, hypergraph)
+    reports = {
+        "Exclusion": check_exclusion(trace, hypergraph),
+        "Synchronization": check_synchronization(trace, hypergraph),
+        "EssentialDiscussion": check_essential_discussion(trace, hypergraph),
+        "VoluntaryDiscussion": check_voluntary_discussion(trace, hypergraph),
+    }
+    row = {"phase": label, "meetings convened": len(convened)}
+    row.update({name: "OK" if report.holds else "VIOLATED" for name, report in reports.items()})
+    for report in reports.values():
+        for violation in report.violations:
+            print("   !!", violation)
+    return row
+
+
+def main() -> None:
+    hypergraph = figure3_hypergraph()
+    algorithm = CC2Algorithm(hypergraph, TokenBinding(TreeTokenCirculation(hypergraph)))
+
+    # Phase 1: start from an arbitrary configuration (the last fault just happened).
+    rng = random.Random(2024)
+    corrupted_start = algorithm.arbitrary_configuration(rng)
+    scheduler = Scheduler(
+        algorithm,
+        environment=AlwaysRequestingEnvironment(discussion_steps=2),
+        daemon=default_daemon(seed=3),
+        initial_configuration=corrupted_start,
+    )
+    print("Starting from an arbitrary configuration (every variable random)...")
+    result = scheduler.run(max_steps=1200)
+    rows = [check_trace(result.trace, hypergraph, "after first fault burst")]
+
+    # Phase 2: corrupt half of the processes mid-run and keep going.
+    injector = FaultInjector(algorithm, fraction=0.5, seed=99)
+    corrupted_again = injector.corrupt(scheduler.configuration)
+    print("Injecting a second burst of transient faults (half the processes corrupted)...")
+    scheduler2 = Scheduler(
+        algorithm,
+        environment=AlwaysRequestingEnvironment(discussion_steps=2),
+        daemon=default_daemon(seed=4),
+        initial_configuration=corrupted_again,
+    )
+    result2 = scheduler2.run(max_steps=1200)
+    rows.append(check_trace(result2.trace, hypergraph, "after second fault burst"))
+
+    print()
+    print(format_table(rows, title="Safety of every convened meeting (snap-stabilization)"))
+    print("Every meeting convened after each fault burst satisfied the full")
+    print("specification -- there is no stabilization window with unsafe meetings.")
+
+
+if __name__ == "__main__":
+    main()

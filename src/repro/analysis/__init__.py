@@ -1,0 +1,6 @@
+"""Analytical bounds and report formatting."""
+
+from repro.analysis.theory import TheoreticalBounds, bounds_for
+from repro.analysis.report import format_table, series_to_rows
+
+__all__ = ["TheoreticalBounds", "bounds_for", "format_table", "series_to_rows"]

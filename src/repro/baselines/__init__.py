@@ -1,0 +1,40 @@
+"""Baselines from the related-work section (Section 6).
+
+These comparators are round-based simulators sharing one interface
+(:class:`~repro.baselines.base.BaselineCoordinator`); they run on the same
+hypergraphs and request models as the paper's algorithms and report the same
+throughput / fairness / concurrency metrics, so the comparison benchmark can
+put ``CC1``/``CC2``/``CC3`` and the baselines in one table.
+
+* :class:`~repro.baselines.dining.DiningPhilosophersCoordinator` -- the
+  Chandy-Misra reduction: one "philosopher" per committee, forks on every
+  pair of conflicting committees, a committee meets while its philosopher
+  eats [2].
+* :class:`~repro.baselines.drinking.DrinkingPhilosophersCoordinator` -- the
+  drinking-philosophers style reduction where bottles are the shared
+  professors [2, 4, 17].
+* :class:`~repro.baselines.manager_token.ManagerTokenCoordinator` --
+  Bagrodia's event-manager scheme: committees are partitioned among managers
+  and inter-manager conflicts are resolved by a circulating token [3].
+* :class:`~repro.baselines.kumar_tokens.KumarTokenCoordinator` -- Kumar's
+  fair algorithm with one token per committee [7].
+* :class:`~repro.baselines.centralized.CentralizedGreedyCoordinator` -- a
+  non-distributed greedy oracle, an upper bound on achievable concurrency.
+"""
+
+from repro.baselines.base import BaselineCoordinator, BaselineResult
+from repro.baselines.centralized import CentralizedGreedyCoordinator
+from repro.baselines.dining import DiningPhilosophersCoordinator
+from repro.baselines.drinking import DrinkingPhilosophersCoordinator
+from repro.baselines.manager_token import ManagerTokenCoordinator
+from repro.baselines.kumar_tokens import KumarTokenCoordinator
+
+__all__ = [
+    "BaselineCoordinator",
+    "BaselineResult",
+    "CentralizedGreedyCoordinator",
+    "DiningPhilosophersCoordinator",
+    "DrinkingPhilosophersCoordinator",
+    "ManagerTokenCoordinator",
+    "KumarTokenCoordinator",
+]

@@ -1,0 +1,31 @@
+"""Centralized greedy coordinator (concurrency upper bound).
+
+A non-distributed oracle that, every round, greedily convenes a maximal set
+of eligible committees (largest-first, then lexicographic).  No distributed
+algorithm can sustain more simultaneous meetings than this policy on the
+same workload, so it anchors the top of the comparison table.  It makes no
+fairness effort whatsoever -- under contention the same committees can win
+every round -- which is also informative next to ``CC2``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.base import BaselineCoordinator
+from repro.hypergraph.hypergraph import Hyperedge
+
+
+class CentralizedGreedyCoordinator(BaselineCoordinator):
+    """Greedy maximal selection of eligible committees each round."""
+
+    name = "centralized-greedy"
+
+    def choose_committees(self, eligible: List[Hyperedge]) -> List[Hyperedge]:
+        chosen: List[Hyperedge] = []
+        used: set = set()
+        for edge in sorted(eligible, key=lambda e: (-e.size, e.members)):
+            if not (set(edge.members) & used):
+                chosen.append(edge)
+                used.update(edge.members)
+        return chosen

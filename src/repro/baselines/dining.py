@@ -1,0 +1,82 @@
+"""Chandy-Misra dining-philosophers reduction [2].
+
+Each *committee* is a philosopher; two philosophers share a fork iff their
+committees conflict (share a professor).  A committee may convene only while
+its philosopher holds every incident fork and is "eating".  The hygienic
+solution's essential behaviour is that fork priority alternates between the
+two sharers: after a philosopher eats, it yields the shared forks to its
+neighbours.
+
+The policy below captures exactly that: every conflicting pair of committees
+carries a priority bit that flips each time one of the two convenes, and an
+eligible committee convenes only if it has priority over (or no contention
+with) every eligible conflicting committee.  The paper's criticism of this
+reduction -- one philosopher serializes all the committees it manages, so
+concurrency drops -- is visible in the benchmark as a lower meetings/round
+than ``CC1`` on conflict-heavy topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import BaselineCoordinator
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
+
+
+class DiningPhilosophersCoordinator(BaselineCoordinator):
+    """Committee-as-philosopher reduction with alternating fork priorities."""
+
+    name = "dining-philosophers"
+
+    def __init__(self, hypergraph: Hypergraph, **kwargs) -> None:
+        super().__init__(hypergraph, **kwargs)
+        # fork priority: maps an unordered pair of conflicting committees to
+        # the committee currently holding the clean fork (priority).
+        self._priority: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], Tuple[int, ...]] = {}
+        edges = hypergraph.hyperedges
+        for i, a in enumerate(edges):
+            for b in edges[i + 1 :]:
+                if a.intersects(b):
+                    key = (a.members, b.members)
+                    # Initially the lexicographically smaller committee has priority.
+                    self._priority[key] = min(a.members, b.members)
+
+    def _pair_key(self, a: Hyperedge, b: Hyperedge) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        key = (a.members, b.members)
+        if key in self._priority:
+            return key
+        key = (b.members, a.members)
+        if key in self._priority:
+            return key
+        return None
+
+    def _has_priority_over(self, a: Hyperedge, b: Hyperedge) -> bool:
+        key = self._pair_key(a, b)
+        if key is None:
+            return True
+        return self._priority[key] == a.members
+
+    def choose_committees(self, eligible: List[Hyperedge]) -> List[Hyperedge]:
+        chosen: List[Hyperedge] = []
+        for edge in sorted(eligible, key=lambda e: e.members):
+            rivals = [other for other in eligible if other != edge and other.intersects(edge)]
+            if all(self._has_priority_over(edge, rival) for rival in rivals):
+                chosen.append(edge)
+        # Resolve any residual overlap (two committees may both claim priority
+        # through disjoint rival sets): keep earlier choices.
+        final: List[Hyperedge] = []
+        used: set = set()
+        for edge in chosen:
+            if not (set(edge.members) & used):
+                final.append(edge)
+                used.update(edge.members)
+        # Yield forks: a committee that just ate loses priority to its rivals.
+        for edge in final:
+            for other in self.hypergraph.hyperedges:
+                if other == edge or not other.intersects(edge):
+                    continue
+                key = self._pair_key(edge, other)
+                if key is not None:
+                    self._priority[key] = other.members
+        return final

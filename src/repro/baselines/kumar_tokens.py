@@ -1,0 +1,80 @@
+"""Kumar's fair n-party synchronization with one token per committee [7].
+
+Kumar circumvents the Tsay-Bagrodia impossibility by assuming professors
+request meetings infinitely often and uses one token per committee to ensure
+that every committee whose members keep requesting eventually convenes.  The
+essential mechanism is *reservation*: a waiting professor binds itself to the
+interaction whose token it holds (here: the committee that has waited the
+longest) and keeps that reservation until the interaction fires, even while
+other members are still busy elsewhere.
+
+The policy captures that mechanism: each committee carries an *age* (rounds
+since it last convened).  A professor that starts waiting commits to its
+oldest incident committee -- eligible or not -- and the commitment persists
+until the committee convenes.  A committee convenes once every member is
+waiting and committed to it.  Because ages grow unboundedly while a committee
+is passed over, every committee (and hence every professor) with persistently
+requesting members eventually gets its turn; the cost is that committed
+members refuse other meetings in the meantime, i.e. concurrency is lower than
+the greedy policies -- the same fairness-versus-concurrency trade-off the
+paper proves in Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import BaselineCoordinator
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
+
+
+class KumarTokenCoordinator(BaselineCoordinator):
+    """Per-committee tokens with persistent age-based reservations."""
+
+    name = "kumar-tokens"
+
+    def __init__(self, hypergraph: Hypergraph, **kwargs) -> None:
+        super().__init__(hypergraph, **kwargs)
+        self._age: Dict[Tuple[int, ...], int] = {e.members: 0 for e in hypergraph.hyperedges}
+        self._commitment: Dict[ProcessId, Optional[Tuple[int, ...]]] = {
+            p: None for p in hypergraph.vertices
+        }
+
+    def _refresh_commitments(self) -> None:
+        """Waiting professors without a live reservation bind to their oldest committee."""
+        for pid in self.hypergraph.vertices:
+            if pid in self.meeting_of:
+                self._commitment[pid] = None
+                continue
+            if pid not in self.waiting:
+                continue
+            if self._commitment[pid] is not None:
+                continue
+            incident = self.hypergraph.incident_edges(pid)
+            if not incident:
+                continue
+            choice = max(incident, key=lambda e: (self._age[e.members], e.members))
+            self._commitment[pid] = choice.members
+
+    def choose_committees(self, eligible: List[Hyperedge]) -> List[Hyperedge]:
+        self._refresh_commitments()
+
+        chosen: List[Hyperedge] = []
+        used: set = set()
+        for edge in sorted(eligible, key=lambda e: (-self._age[e.members], e.members)):
+            if set(edge.members) & used:
+                continue
+            if all(self._commitment.get(member) == edge.members for member in edge):
+                chosen.append(edge)
+                used.update(edge.members)
+
+        convened = {edge.members for edge in chosen}
+        for edge in chosen:
+            for member in edge:
+                self._commitment[member] = None
+        for members in self._age:
+            if members in convened:
+                self._age[members] = 0
+            else:
+                self._age[members] += 1
+        return chosen

@@ -1,0 +1,140 @@
+"""Command-line interface.
+
+``python -m repro`` (or the installed ``repro-cc`` script) exposes the most
+common operations:
+
+* ``run``      -- simulate one algorithm on a named scenario and print metrics,
+* ``bounds``   -- print the analytical quantities (minMM, AMM bounds, ...) of a scenario,
+* ``compare``  -- run CC1/CC2/CC3 and all baselines on a scenario and print one table,
+* ``scenarios``-- list the available scenarios.
+
+Examples::
+
+    repro-cc scenarios
+    repro-cc run --scenario figure1 --algorithm cc2 --steps 2000
+    repro-cc bounds --scenario figure2-impossibility
+    repro-cc compare --scenario grid-3x3 --rounds 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.analysis.theory import bounds_for
+from repro.baselines import (
+    CentralizedGreedyCoordinator,
+    DiningPhilosophersCoordinator,
+    DrinkingPhilosophersCoordinator,
+    KumarTokenCoordinator,
+    ManagerTokenCoordinator,
+)
+from repro.core.runner import CommitteeCoordinator
+from repro.metrics.throughput import measure_throughput
+from repro.workloads.scenarios import paper_scenarios, scaling_scenarios, scenario_by_name
+
+
+def _cmd_scenarios(_: argparse.Namespace) -> int:
+    rows = [
+        {"name": s.name, "n": s.n, "m": s.m, "description": s.description}
+        for s in paper_scenarios() + scaling_scenarios()
+    ]
+    print(format_table(rows, title="Scenarios"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = scenario_by_name(args.scenario)
+    coordinator = CommitteeCoordinator(
+        scenario.hypergraph, algorithm=args.algorithm, token=args.token, seed=args.seed
+    )
+    outcome = coordinator.run(
+        max_steps=args.steps,
+        discussion_steps=args.discussion,
+        from_arbitrary=args.arbitrary,
+    )
+    row = {"scenario": scenario.name, "algorithm": args.algorithm}
+    row.update(outcome.metrics.as_row())
+    print(format_table([row], title=f"{args.algorithm.upper()} on {scenario.name}"))
+    if args.verbose:
+        for event in outcome.events[:50]:
+            print(f"  {event.kind:9s} {tuple(event.committee.members)} at configuration {event.configuration_index}")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    scenario = scenario_by_name(args.scenario)
+    bounds = bounds_for(scenario.hypergraph)
+    row = {"scenario": scenario.name, "n": scenario.n, "m": scenario.m}
+    row.update(bounds.as_row())
+    print(format_table([row], title=f"Analytical bounds for {scenario.name}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = scenario_by_name(args.scenario)
+    hypergraph = scenario.hypergraph
+    rows = []
+    for name in ("cc1", "cc2", "cc3"):
+        coordinator = CommitteeCoordinator(hypergraph, algorithm=name, seed=args.seed)
+        result = measure_throughput(coordinator.algorithm, max_steps=args.steps, seed=args.seed)
+        row = {"algorithm": name}
+        row.update(result.as_row())
+        rows.append(row)
+    baselines = [
+        CentralizedGreedyCoordinator(hypergraph, seed=args.seed),
+        DiningPhilosophersCoordinator(hypergraph, seed=args.seed),
+        DrinkingPhilosophersCoordinator(hypergraph, seed=args.seed),
+        ManagerTokenCoordinator(hypergraph, seed=args.seed),
+        KumarTokenCoordinator(hypergraph, seed=args.seed),
+    ]
+    for baseline in baselines:
+        result = baseline.run(rounds=args.rounds)
+        row = {"algorithm": baseline.name}
+        row.update(result.as_row())
+        rows.append(row)
+    print(format_table(rows, title=f"Comparison on {scenario.name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-cc", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list available scenarios").set_defaults(func=_cmd_scenarios)
+
+    run = sub.add_parser("run", help="run one algorithm on a scenario")
+    run.add_argument("--scenario", default="figure1")
+    run.add_argument("--algorithm", default="cc2", choices=["cc1", "cc2", "cc3"])
+    run.add_argument("--token", default="tree", choices=["tree", "ring", "oracle"])
+    run.add_argument("--steps", type=int, default=2000)
+    run.add_argument("--discussion", type=int, default=1)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--arbitrary", action="store_true", help="start from an arbitrary configuration")
+    run.add_argument("--verbose", action="store_true", help="print meeting events")
+    run.set_defaults(func=_cmd_run)
+
+    bounds = sub.add_parser("bounds", help="print analytical bounds for a scenario")
+    bounds.add_argument("--scenario", default="figure1")
+    bounds.set_defaults(func=_cmd_bounds)
+
+    compare = sub.add_parser("compare", help="compare CC1/CC2/CC3 and the baselines")
+    compare.add_argument("--scenario", default="figure1")
+    compare.add_argument("--steps", type=int, default=2000)
+    compare.add_argument("--rounds", type=int, default=400)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

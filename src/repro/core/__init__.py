@@ -1,0 +1,38 @@
+"""The paper's contribution: snap-stabilizing committee coordination.
+
+* :mod:`repro.core.states` -- professor statuses and the mapping between the
+  paper's abstract states (idle / waiting / meeting) and the algorithm
+  statuses (``idle``, ``looking``, ``waiting``, ``done``).
+* :mod:`repro.core.composition` -- binding of a
+  :class:`~repro.tokenring.interfaces.TokenModule` into a committee
+  coordination algorithm (the ``CC ∘ TC`` emulating composition).
+* :mod:`repro.core.cc1` -- Algorithm ``CC1`` (Maximal Concurrency + 2-Phase
+  Discussion, snap-stabilizing).
+* :mod:`repro.core.cc2` -- Algorithm ``CC2`` (Professor Fairness + 2-Phase
+  Discussion, snap-stabilizing; assumes professors request infinitely often).
+* :mod:`repro.core.cc3` -- the Committee Fairness variant of ``CC2``.
+* :mod:`repro.core.runner` -- the high-level user API
+  (:class:`~repro.core.runner.CommitteeCoordinator`).
+"""
+
+from repro.core.states import DONE, IDLE, LOOKING, WAITING, is_meeting_status, is_waiting_status
+from repro.core.composition import TokenBinding
+from repro.core.cc1 import CC1Algorithm
+from repro.core.cc2 import CC2Algorithm
+from repro.core.cc3 import CC3Algorithm
+from repro.core.runner import CommitteeCoordinator, SimulationOutcome
+
+__all__ = [
+    "IDLE",
+    "LOOKING",
+    "WAITING",
+    "DONE",
+    "is_meeting_status",
+    "is_waiting_status",
+    "TokenBinding",
+    "CC1Algorithm",
+    "CC2Algorithm",
+    "CC3Algorithm",
+    "CommitteeCoordinator",
+    "SimulationOutcome",
+]

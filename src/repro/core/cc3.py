@@ -1,0 +1,72 @@
+"""Algorithm ``CC3`` -- the Committee Fairness variant of ``CC2`` (Section 5.4).
+
+The paper obtains ``CC3 ∘ TC`` from ``CC2 ∘ TC`` with one modification:
+*"Every time a process acquires the token, it sequentially selects a new
+incident committee."*  Instead of always targeting one of its smallest
+incident committees, a token holder cycles through **all** of its incident
+committees across successive token acquisitions, so every committee of every
+process is selected (and therefore convenes) infinitely often.
+
+Implementation: each process keeps a cursor ``R_p`` into the canonical list
+of its incident committees.  The token holder's target committee is
+``E_p[R_p mod |E_p|]``; the cursor advances when the process leaves a meeting
+holding the token (i.e. when its token-priority turn completes), so the next
+acquisition targets the next committee in sequence.
+
+The waiting time is unchanged (Theorem 6) and the degree of fair concurrency
+degrades from ``min_{MM ∪ AMM}`` to ``min_{MM ∪ AMM'}`` (Theorems 7 and 8)
+because the targeted committee need no longer be a smallest one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
+from repro.kernel.algorithm import ActionContext
+from repro.core.cc2 import CC2Algorithm
+from repro.core.composition import TokenBinding
+
+#: Name of the round-robin cursor variable.
+CURSOR = "R"
+
+
+class CC3Algorithm(CC2Algorithm):
+    """``CC2`` with round-robin committee selection by the token holder."""
+
+    def __init__(self, hypergraph: Hypergraph, token: TokenBinding) -> None:
+        super().__init__(hypergraph, token)
+
+    # ------------------------------------------------------------------ #
+    # variable layout: CC2's plus the cursor
+    # ------------------------------------------------------------------ #
+    def own_initial_state(self, pid: ProcessId) -> Dict[str, Any]:
+        state = super().own_initial_state(pid)
+        state[CURSOR] = 0
+        return state
+
+    def own_arbitrary_state(self, pid: ProcessId, rng: Any) -> Dict[str, Any]:
+        state = super().own_arbitrary_state(pid, rng)
+        # The cursor's domain is the index range of E_p; an arbitrary value
+        # outside it is harmless (it is always used modulo |E_p|) but we draw
+        # a slightly larger range to model corruption.
+        state[CURSOR] = rng.randrange(0, max(1, len(self.incident(pid))) + 2)
+        return state
+
+    # ------------------------------------------------------------------ #
+    # the single behavioural change: the token holder's target committee
+    # ------------------------------------------------------------------ #
+    def token_target_edges(self, ctx: ActionContext, pid: ProcessId) -> Tuple[Hyperedge, ...]:
+        edges = self.incident(pid)
+        if not edges:
+            return ()
+        cursor = ctx.read(pid, CURSOR)
+        cursor = 0 if not isinstance(cursor, int) else cursor
+        return (edges[cursor % len(edges)],)
+
+    def on_leave_meeting(self, ctx: ActionContext, pid: ProcessId) -> None:
+        """Advance the cursor when the token holder's priority turn completes."""
+        if self.token.token(ctx, pid):
+            cursor = ctx.read(pid, CURSOR)
+            cursor = 0 if not isinstance(cursor, int) else cursor
+            ctx.write(CURSOR, (cursor + 1) % max(1, len(self.incident(pid))))

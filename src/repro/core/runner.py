@@ -1,0 +1,209 @@
+"""High-level user API.
+
+:class:`CommitteeCoordinator` wires together a hypergraph, one of the three
+committee coordination algorithms, a token-circulation substrate, a request
+model and a daemon, runs the simulation, and returns a
+:class:`SimulationOutcome` bundling the trace, the meeting events and the
+summary metrics.  It is the entry point the examples, the CLI and most
+benchmarks use::
+
+    from repro import CommitteeCoordinator, figure1_hypergraph
+
+    coordinator = CommitteeCoordinator(figure1_hypergraph(), algorithm="cc2", seed=1)
+    outcome = coordinator.run(max_steps=2000)
+    print(outcome.metrics.as_row())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import CommitteeAlgorithmBase
+from repro.core.cc1 import CC1Algorithm
+from repro.core.cc2 import CC2Algorithm
+from repro.core.cc3 import CC3Algorithm
+from repro.core.composition import TokenBinding
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
+from repro.kernel.algorithm import Environment
+from repro.kernel.configuration import Configuration
+from repro.kernel.daemon import Daemon, SynchronousDaemon, default_daemon
+from repro.kernel.faults import arbitrary_configuration
+from repro.kernel.scheduler import Scheduler, SchedulerResult
+from repro.kernel.trace import Trace
+from repro.metrics.collector import TraceMetrics, collect_metrics
+from repro.spec.events import MeetingEvent, convened_meetings, meeting_events
+from repro.spec.fairness import FairnessSummary, professor_fairness_counts
+from repro.tokenring.dijkstra_ring import DijkstraRingToken
+from repro.tokenring.oracle import OracleTokenModule
+from repro.tokenring.tree_circulation import TreeTokenCirculation
+from repro.workloads.request_models import AlwaysRequestingEnvironment
+
+ALGORITHMS = ("cc1", "cc2", "cc3")
+TOKEN_MODULES = ("tree", "ring", "oracle")
+DAEMONS = ("weakly_fair", "synchronous")
+
+
+@dataclass
+class SimulationOutcome:
+    """Everything a caller usually wants from one simulation run."""
+
+    trace: Trace
+    result: SchedulerResult
+    metrics: TraceMetrics
+    events: List[MeetingEvent]
+    fairness: FairnessSummary
+    hypergraph: Hypergraph
+    algorithm_name: str
+
+    @property
+    def final(self) -> Configuration:
+        return self.trace.final
+
+    @property
+    def meetings_convened(self) -> int:
+        return sum(1 for e in self.events if e.kind == "convene")
+
+    @property
+    def steps(self) -> int:
+        return self.result.steps
+
+    @property
+    def rounds(self) -> int:
+        return self.result.rounds
+
+
+class CommitteeCoordinator:
+    """Facade building and running a ``CC ∘ TC`` composition.
+
+    Parameters
+    ----------
+    hypergraph:
+        Professors and committees.
+    algorithm:
+        ``"cc1"`` (Maximal Concurrency), ``"cc2"`` (Professor Fairness) or
+        ``"cc3"`` (Committee Fairness).
+    token:
+        Token substrate: ``"tree"`` (default, circulation along a spanning
+        tree of ``G_H``), ``"ring"`` (virtual id-ordered Dijkstra ring) or
+        ``"oracle"`` (pre-stabilized ring).
+    daemon:
+        ``"weakly_fair"`` (default), ``"synchronous"``, or a
+        :class:`~repro.kernel.daemon.Daemon` instance.
+    seed:
+        Seed for the daemon / arbitrary-configuration RNG.
+    """
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        algorithm: str = "cc2",
+        token: str = "tree",
+        daemon: str | Daemon = "weakly_fair",
+        seed: Optional[int] = None,
+    ) -> None:
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+        self.hypergraph = hypergraph
+        self.algorithm_name = algorithm
+        self.seed = seed
+        self._token_name = token
+        self._daemon_spec = daemon
+        self.algorithm = self._build_algorithm(algorithm, token)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _build_token(self, token: str) -> TokenBinding:
+        if isinstance(token, TokenBinding):
+            return token
+        if token == "tree":
+            module = TreeTokenCirculation(self.hypergraph)
+        elif token == "ring":
+            module = DijkstraRingToken(self.hypergraph.vertices)
+        elif token == "oracle":
+            module = OracleTokenModule(self.hypergraph.vertices)
+        else:
+            raise ValueError(f"unknown token module {token!r}; expected one of {TOKEN_MODULES}")
+        return TokenBinding(module)
+
+    def _build_algorithm(self, algorithm: str, token: str) -> CommitteeAlgorithmBase:
+        binding = self._build_token(token)
+        if algorithm == "cc1":
+            return CC1Algorithm(self.hypergraph, binding)
+        if algorithm == "cc2":
+            return CC2Algorithm(self.hypergraph, binding)
+        return CC3Algorithm(self.hypergraph, binding)
+
+    def _build_daemon(self) -> Daemon:
+        if isinstance(self._daemon_spec, Daemon):
+            return self._daemon_spec
+        if self._daemon_spec == "synchronous":
+            return SynchronousDaemon()
+        if self._daemon_spec == "weakly_fair":
+            return default_daemon(seed=self.seed)
+        raise ValueError(f"unknown daemon {self._daemon_spec!r}; expected one of {DAEMONS}")
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        max_steps: int = 2000,
+        environment: Optional[Environment] = None,
+        discussion_steps: int = 1,
+        from_arbitrary: bool = False,
+        record_configurations: bool = True,
+    ) -> SimulationOutcome:
+        """Run one computation and collect metrics.
+
+        ``environment`` defaults to an always-requesting workload with
+        ``discussion_steps`` of voluntary discussion.  With
+        ``from_arbitrary=True`` the run starts from an arbitrary configuration
+        (the snap-stabilization setting).
+        """
+        env = environment if environment is not None else AlwaysRequestingEnvironment(discussion_steps)
+        daemon = self._build_daemon()
+        initial = None
+        if from_arbitrary:
+            initial = arbitrary_configuration(self.algorithm, seed=self.seed)
+        scheduler = Scheduler(
+            self.algorithm,
+            environment=env,
+            daemon=daemon,
+            initial_configuration=initial,
+            record_configurations=record_configurations,
+        )
+        result = scheduler.run(max_steps=max_steps)
+        trace = result.trace
+        if record_configurations:
+            metrics = collect_metrics(trace, self.hypergraph)
+            events = meeting_events(trace, self.hypergraph)
+            fairness = professor_fairness_counts(trace, self.hypergraph)
+        else:
+            metrics = TraceMetrics(
+                steps=trace.length,
+                rounds=trace.rounds,
+                meetings_convened=0,
+                peak_concurrency=0,
+                mean_concurrency=0.0,
+                min_professor_participations=0,
+                max_professor_participations=0,
+                jain_fairness_index=0.0,
+                action_counts=trace.action_counts(),
+            )
+            events = []
+            fairness = FairnessSummary(per_professor={}, per_committee={})
+        return SimulationOutcome(
+            trace=trace,
+            result=result,
+            metrics=metrics,
+            events=events,
+            fairness=fairness,
+            hypergraph=self.hypergraph,
+            algorithm_name=self.algorithm_name,
+        )
+
+    def meetings_in(self, configuration: Configuration) -> Tuple[Hyperedge, ...]:
+        """Committees meeting in ``configuration`` (delegates to the algorithm)."""
+        return self.algorithm.meetings_in(configuration)

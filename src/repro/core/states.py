@@ -1,0 +1,56 @@
+"""Professor statuses.
+
+The problem statement (Section 2.3) distinguishes three professor *states*:
+idle, waiting and meeting.  The algorithms refine them into four *statuses*
+(Section 4.1, footnote 6):
+
+====================  =======================================================
+algorithm status       problem state
+====================  =======================================================
+``idle``              idle -- no interest in a meeting (``CC1`` only; in
+                      ``CC2``/``CC3`` professors are always requesting so the
+                      status does not exist)
+``looking``           waiting -- searching for an available committee
+``waiting``           waiting -- committed to a committee, waiting for every
+                      member to catch up
+``done``              meeting -- the meeting convened and the professor has
+                      performed (or is performing) its essential discussion
+====================  =======================================================
+
+A committee *meets* iff every member points to it with status ``waiting`` or
+``done``; the member is then *participating* in the meeting (see
+:mod:`repro.spec.events` for the trace-level definitions).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Status variable name used by every committee coordination algorithm.
+STATUS = "S"
+#: Edge-pointer variable name (``P_p ∈ E_p ∪ {⊥}``; ``None`` encodes ``⊥``).
+POINTER = "P"
+#: Token-flag variable name (``T_p``).
+TOKEN_FLAG = "T"
+#: Lock-flag variable name (``L_p``, ``CC2``/``CC3`` only).
+LOCK_FLAG = "L"
+
+IDLE = "idle"
+LOOKING = "looking"
+WAITING = "waiting"
+DONE = "done"
+
+#: All statuses of Algorithm CC1.
+CC1_STATUSES: Tuple[str, ...] = (IDLE, LOOKING, WAITING, DONE)
+#: All statuses of Algorithms CC2 / CC3 (no ``idle``).
+CC2_STATUSES: Tuple[str, ...] = (LOOKING, WAITING, DONE)
+
+
+def is_waiting_status(status: str) -> bool:
+    """``True`` iff the status maps to the problem's *waiting* state."""
+    return status in (LOOKING, WAITING)
+
+
+def is_meeting_status(status: str) -> bool:
+    """``True`` iff the status can only occur while a meeting is (or was) held."""
+    return status == DONE

@@ -1,0 +1,59 @@
+"""Hypergraph model of the committee coordination problem.
+
+The committee coordination problem (Chandy & Misra) maps professors to
+processes and committees to synchronization hyperedges.  This subpackage
+provides the static combinatorial model used throughout the library:
+
+* :class:`~repro.hypergraph.hypergraph.Hypergraph` -- the distributed system
+  ``H = (V, E)`` of Section 2.1 of the paper, together with its *underlying
+  communication network* ``G_H``.
+* :mod:`~repro.hypergraph.matching` -- matchings and maximal matchings of a
+  hypergraph, and the quantities used in the complexity analysis of
+  Section 5.3 (``minMM``, ``MaxMin``, ``MaxHEdge``, ``Almost``, ``AMM``).
+* :mod:`~repro.hypergraph.generators` -- topology generators: the exact
+  hypergraphs shown in Figures 1-4 of the paper and parametric families used
+  by the benchmark harness.
+"""
+
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
+from repro.hypergraph.matching import (
+    MatchingAnalysis,
+    all_maximal_matchings,
+    is_matching,
+    is_maximal_matching,
+    max_hyperedge_size,
+    max_min_incident_size,
+    min_maximal_matching_size,
+)
+from repro.hypergraph.generators import (
+    complete_hypergraph,
+    cycle_of_committees,
+    figure1_hypergraph,
+    figure2_hypergraph,
+    figure3_hypergraph,
+    figure4_hypergraph,
+    path_of_committees,
+    random_k_uniform_hypergraph,
+    star_hypergraph,
+)
+
+__all__ = [
+    "Hyperedge",
+    "Hypergraph",
+    "MatchingAnalysis",
+    "all_maximal_matchings",
+    "is_matching",
+    "is_maximal_matching",
+    "max_hyperedge_size",
+    "max_min_incident_size",
+    "min_maximal_matching_size",
+    "complete_hypergraph",
+    "cycle_of_committees",
+    "figure1_hypergraph",
+    "figure2_hypergraph",
+    "figure3_hypergraph",
+    "figure4_hypergraph",
+    "path_of_committees",
+    "random_k_uniform_hypergraph",
+    "star_hypergraph",
+]

@@ -1,0 +1,274 @@
+"""Matchings of a hypergraph and the quantities of Section 5.3.
+
+The degree-of-fair-concurrency analysis of Algorithm ``CC2 ∘ TC`` (Theorems 4
+and 5) and of Algorithm ``CC3 ∘ TC`` (Theorems 7 and 8) is phrased in terms of
+
+* matchings and maximal matchings of the hypergraph ``H``,
+* ``minMM``  -- the size of the smallest *maximal* matching,
+* ``MaxMin`` -- ``max_p min_{ε ∋ p} |ε|`` (largest, over processes, of the
+  smallest incident-committee size),
+* ``MaxHEdge`` -- the largest committee size,
+* ``Almost(ε, X)`` and the sets ``AMM`` / ``AMM'`` characterising the
+  quiescent configurations reachable when the token holder is blocked.
+
+Everything here is exact enumeration.  Enumerating all maximal matchings is
+exponential in the worst case, which is fine for the hypergraph sizes the
+paper (and our benchmarks) consider; the enumeration is organised as a
+branch-and-bound over hyperedges so that typical instances are fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
+
+Matching = FrozenSet[Hyperedge]
+
+
+def is_matching(hypergraph: Hypergraph, edges: Iterable[Hyperedge]) -> bool:
+    """``True`` iff no two hyperedges in ``edges`` share a vertex."""
+    used: Set[ProcessId] = set()
+    for edge in edges:
+        if edge not in hypergraph.hyperedges:
+            return False
+        members = set(edge.members)
+        if used & members:
+            return False
+        used |= members
+    return True
+
+
+def is_maximal_matching(hypergraph: Hypergraph, edges: Iterable[Hyperedge]) -> bool:
+    """``True`` iff ``edges`` is a matching with no proper matching superset."""
+    edge_set = set(edges)
+    if not is_matching(hypergraph, edge_set):
+        return False
+    used: Set[ProcessId] = set()
+    for edge in edge_set:
+        used |= set(edge.members)
+    for candidate in hypergraph.hyperedges:
+        if candidate in edge_set:
+            continue
+        if not (set(candidate.members) & used):
+            return False
+    return True
+
+
+def all_maximal_matchings(hypergraph: Hypergraph) -> List[Matching]:
+    """Enumerate every maximal matching of ``hypergraph``.
+
+    The enumeration walks the hyperedges in canonical order; at each edge the
+    branch either includes it (if disjoint from the current partial matching)
+    or excludes it.  A completed branch is kept only if its matching is
+    maximal, and duplicates (which can arise from exclusion branches) are
+    removed at the end.
+    """
+    edges = hypergraph.hyperedges
+    results: Set[Matching] = set()
+
+    def extend(index: int, chosen: List[Hyperedge], used: Set[ProcessId]) -> None:
+        if index == len(edges):
+            matching = frozenset(chosen)
+            if is_maximal_matching(hypergraph, matching):
+                results.add(matching)
+            return
+        edge = edges[index]
+        members = set(edge.members)
+        if not (members & used):
+            chosen.append(edge)
+            extend(index + 1, chosen, used | members)
+            chosen.pop()
+        extend(index + 1, chosen, used)
+
+    extend(0, [], set())
+    return sorted(results, key=lambda m: (len(m), tuple(sorted(e.members for e in m))))
+
+
+def min_maximal_matching_size(hypergraph: Hypergraph) -> int:
+    """``minMM``: the size of the smallest maximal matching of ``hypergraph``."""
+    matchings = all_maximal_matchings(hypergraph)
+    if not matchings:
+        return 0
+    return min(len(m) for m in matchings)
+
+
+def max_maximal_matching_size(hypergraph: Hypergraph) -> int:
+    """Size of the largest maximal matching (an upper bound on concurrency)."""
+    matchings = all_maximal_matchings(hypergraph)
+    if not matchings:
+        return 0
+    return max(len(m) for m in matchings)
+
+
+def max_min_incident_size(hypergraph: Hypergraph) -> int:
+    """``MaxMin = max_{p ∈ V} minE_p`` (Section 5.3).
+
+    For every process take the size of its smallest incident committee, then
+    take the maximum over processes.  Processes incident to no committee are
+    skipped (they can never be a blocked token holder).
+    """
+    best = 0
+    for p in hypergraph.vertices:
+        edges = hypergraph.incident_edges(p)
+        if not edges:
+            continue
+        best = max(best, min(e.size for e in edges))
+    return best
+
+
+def max_hyperedge_size(hypergraph: Hypergraph) -> int:
+    """``MaxHEdge = max_{ε ∈ E} |ε|`` (Section 5.4)."""
+    if not hypergraph.hyperedges:
+        return 0
+    return max(e.size for e in hypergraph.hyperedges)
+
+
+def proper_subsets_containing(edge: Hyperedge, process: ProcessId) -> List[FrozenSet[ProcessId]]:
+    """``Y_{ε,p} = { y ⊆ ε | p ∈ y ∧ |y| < |ε| }`` (Section 5.3)."""
+    if process not in edge:
+        return []
+    others = [m for m in edge.members if m != process]
+    subsets: List[FrozenSet[ProcessId]] = []
+    for mask in range(1 << len(others)):
+        subset = {process}
+        for bit, member in enumerate(others):
+            if mask & (1 << bit):
+                subset.add(member)
+        if len(subset) < edge.size:
+            subsets.append(frozenset(subset))
+    return subsets
+
+
+def almost_matchings(
+    hypergraph: Hypergraph, edge: Hyperedge, blocked: Iterable[ProcessId]
+) -> List[Matching]:
+    """``Almost(ε, X)``: maximal matchings of ``H_X`` covering ``ε \\ X``.
+
+    The set ``X`` contains the blocked processes of committee ``ε`` (the token
+    holder and the other members that are not currently meeting); the paper
+    requires every member of ``ε`` *not* in ``X`` to be incident to a
+    hyperedge of the matching.
+    """
+    blocked_set = frozenset(blocked)
+    remaining = [v for v in hypergraph.vertices if v not in blocked_set]
+    if not remaining:
+        return []
+    sub = hypergraph.induced_subhypergraph(blocked_set)
+    need_cover = [q for q in edge.members if q not in blocked_set]
+    result: List[Matching] = []
+    for matching in all_maximal_matchings(sub):
+        covered = set()
+        for m_edge in matching:
+            covered |= set(m_edge.members)
+        if all(q in covered for q in need_cover):
+            result.append(matching)
+    return result
+
+
+def amm(hypergraph: Hypergraph, min_edges_only: bool = True) -> List[Matching]:
+    """The set ``AMM`` (Section 5.3) or ``AMM'`` (Section 5.4).
+
+    ``AMM(p) = ⋃_{ε ∈ E^min_p} ⋃_{y ∈ Y_{ε,p}} Almost(ε, y)`` and
+    ``AMM = ⋃_{p ∈ V} AMM(p)``.  With ``min_edges_only=False`` the union
+    runs over *all* committees incident to ``p`` instead of only the smallest
+    ones, yielding ``AMM'`` used for Algorithm ``CC3``.
+    """
+    collected: Set[Matching] = set()
+    for p in hypergraph.vertices:
+        if min_edges_only:
+            edges = hypergraph.min_incident_edges(p)
+        else:
+            edges = hypergraph.incident_edges(p)
+        for edge in edges:
+            for blocked in proper_subsets_containing(edge, p):
+                for matching in almost_matchings(hypergraph, edge, blocked):
+                    collected.add(matching)
+    return sorted(
+        collected, key=lambda m: (len(m), tuple(sorted(e.members for e in m)))
+    )
+
+
+def min_mm_union_amm(hypergraph: Hypergraph, min_edges_only: bool = True) -> int:
+    """``min_{MM ∪ AMM}`` (Theorem 4) or ``min_{MM ∪ AMM'}`` (Theorem 7).
+
+    If ``AMM`` is empty (e.g. a single-committee hypergraph) the minimum is
+    taken over the maximal matchings only, mirroring the paper's convention
+    that the degree of fair concurrency is at least 1.
+    """
+    sizes = [len(m) for m in all_maximal_matchings(hypergraph)]
+    sizes += [len(m) for m in amm(hypergraph, min_edges_only=min_edges_only)]
+    sizes = [s for s in sizes if s > 0]
+    if not sizes:
+        return 1 if hypergraph.m > 0 else 0
+    return min(sizes)
+
+
+@dataclass(frozen=True)
+class MatchingAnalysis:
+    """Aggregate of all Section 5.3 / 5.4 quantities for one hypergraph.
+
+    Attributes
+    ----------
+    min_mm:
+        ``minMM``, the size of the smallest maximal matching.
+    max_mm:
+        Size of the largest maximal matching.
+    max_min:
+        ``MaxMin``.
+    max_hedge:
+        ``MaxHEdge``.
+    min_mm_union_amm:
+        ``min_{MM ∪ AMM}`` -- the Theorem 4 lower bound on the degree of fair
+        concurrency of ``CC2 ∘ TC``.
+    min_mm_union_amm_prime:
+        ``min_{MM ∪ AMM'}`` -- the Theorem 7 bound for ``CC3 ∘ TC``.
+    theorem5_bound:
+        ``minMM − MaxMin + 1`` (Theorem 5 lower bound; may be ≤ 0, in which
+        case the trivial bound 1 applies).
+    theorem8_bound:
+        ``minMM − MaxHEdge + 1`` (Theorem 8).
+    """
+
+    min_mm: int
+    max_mm: int
+    max_min: int
+    max_hedge: int
+    min_mm_union_amm: int
+    min_mm_union_amm_prime: int
+    theorem5_bound: int
+    theorem8_bound: int
+
+    @classmethod
+    def of(cls, hypergraph: Hypergraph) -> "MatchingAnalysis":
+        """Compute the full analysis for ``hypergraph`` by exact enumeration."""
+        min_mm = min_maximal_matching_size(hypergraph)
+        max_mm = max_maximal_matching_size(hypergraph)
+        max_min = max_min_incident_size(hypergraph)
+        max_hedge = max_hyperedge_size(hypergraph)
+        bound4 = min_mm_union_amm(hypergraph, min_edges_only=True)
+        bound7 = min_mm_union_amm(hypergraph, min_edges_only=False)
+        return cls(
+            min_mm=min_mm,
+            max_mm=max_mm,
+            max_min=max_min,
+            max_hedge=max_hedge,
+            min_mm_union_amm=bound4,
+            min_mm_union_amm_prime=bound7,
+            theorem5_bound=min_mm - max_min + 1,
+            theorem8_bound=min_mm - max_hedge + 1,
+        )
+
+    def as_row(self) -> Dict[str, int]:
+        """Flat dict used by the report generator."""
+        return {
+            "minMM": self.min_mm,
+            "maxMM": self.max_mm,
+            "MaxMin": self.max_min,
+            "MaxHEdge": self.max_hedge,
+            "min(MM ∪ AMM)": self.min_mm_union_amm,
+            "min(MM ∪ AMM')": self.min_mm_union_amm_prime,
+            "Thm5 bound": self.theorem5_bound,
+            "Thm8 bound": self.theorem8_bound,
+        }

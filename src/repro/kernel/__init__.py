@@ -1,0 +1,58 @@
+"""Locally-shared-memory (atomic-state) distributed computing substrate.
+
+This subpackage implements the computational model of Section 2.2 of the
+paper:
+
+* processes communicate through *locally shared variables*: a process can
+  read its own variables and those of its neighbours, and write only its own;
+* the local algorithm of a process is a finite ordered list of guarded
+  actions; later actions in the list have *higher* priority;
+* at each step a *daemon* selects a non-empty subset of the enabled
+  processes, and every selected process atomically executes its
+  highest-priority enabled action against the pre-step configuration
+  (composite atomicity);
+* time is measured in *rounds* (Dolev-Israeli-Moran): the first round of a
+  computation is the minimal prefix in which every process enabled in the
+  initial configuration has been activated or neutralized.
+
+The kernel is algorithm-agnostic; the committee coordination algorithms, the
+token circulation substrate and the baselines are all expressed as
+:class:`~repro.kernel.algorithm.DistributedAlgorithm` instances executed by
+:class:`~repro.kernel.scheduler.Scheduler`.
+"""
+
+from repro.kernel.algorithm import Action, ActionContext, DistributedAlgorithm, Environment
+from repro.kernel.configuration import Configuration
+from repro.kernel.daemon import (
+    AdversarialDaemon,
+    CentralDaemon,
+    Daemon,
+    DistributedRandomDaemon,
+    LocallyCentralDaemon,
+    SynchronousDaemon,
+    WeaklyFairDaemon,
+)
+from repro.kernel.faults import FaultInjector, arbitrary_configuration
+from repro.kernel.scheduler import Scheduler, SchedulerResult, StepRecord
+from repro.kernel.trace import Trace
+
+__all__ = [
+    "Action",
+    "ActionContext",
+    "DistributedAlgorithm",
+    "Environment",
+    "Configuration",
+    "Daemon",
+    "SynchronousDaemon",
+    "CentralDaemon",
+    "LocallyCentralDaemon",
+    "DistributedRandomDaemon",
+    "WeaklyFairDaemon",
+    "AdversarialDaemon",
+    "FaultInjector",
+    "arbitrary_configuration",
+    "Scheduler",
+    "SchedulerResult",
+    "StepRecord",
+    "Trace",
+]

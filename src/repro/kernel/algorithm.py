@@ -1,0 +1,212 @@
+"""Guarded-action local algorithms and their evaluation context.
+
+A local algorithm (Section 2.2) is a finite **ordered** list of guarded
+actions::
+
+    <label> :: <guard>  |->  <statement>
+
+The guard of an action of process ``p`` is a Boolean expression over the
+variables of ``p`` and of its neighbours; the statement updates a subset of
+``p``'s own variables.  The order of the list encodes priority: *an action A
+has higher priority than B iff A appears after B in the code* (this is the
+convention the paper uses -- the stabilization actions appear last and are
+the "priority actions").  When a selected process has several enabled
+actions, it executes its highest-priority enabled one.
+
+Algorithms also receive *inputs* from the environment: the committee
+coordination algorithms read the predicates ``RequestIn(p)`` and
+``RequestOut(p)`` which model the professor's autonomous decisions.  The
+environment is exposed to guards and statements through the
+:class:`ActionContext`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.kernel.configuration import Configuration, ProcessId
+
+
+class Environment:
+    """External inputs to an algorithm (professor requests, clocks, ...).
+
+    The default environment answers ``False`` to every request predicate; the
+    request models in :mod:`repro.workloads.request_models` override these
+    hooks.  ``observe`` is called by the scheduler once per step *after* the
+    step has been applied so that stateful environments (e.g. meeting-length
+    counters) can advance.
+    """
+
+    def request_in(self, pid: ProcessId, configuration: Configuration) -> bool:
+        """The ``RequestIn(p)`` predicate: does professor ``pid`` want to meet?"""
+        return False
+
+    def request_out(self, pid: ProcessId, configuration: Configuration) -> bool:
+        """The ``RequestOut(p)`` predicate: does professor ``pid`` want to leave?"""
+        return False
+
+    def observe(self, configuration: Configuration, step_index: int) -> None:
+        """Hook invoked after every step with the new configuration."""
+
+    def on_essential_discussion(self, pid: ProcessId) -> None:
+        """Hook invoked when professor ``pid`` performs its essential discussion."""
+
+    def reset(self) -> None:
+        """Reset any internal state (called when a scheduler is rebuilt)."""
+
+
+class ActionContext:
+    """Read/write interface handed to guards and statements.
+
+    Reads are served from the *pre-step* snapshot (composite atomicity:
+    every process selected in a step evaluates its guard and computes its
+    writes against the same configuration ``γ``).  Writes are buffered and
+    applied by the scheduler when building ``γ'``.
+
+    The atomic-state model only allows a process to read its neighbours'
+    variables; the context does not mechanically enforce this (the token
+    circulation substrate legitimately reads its virtual-ring predecessor,
+    a documented substitution), but every committee coordination algorithm
+    restricts itself to hypergraph neighbours.
+    """
+
+    __slots__ = ("pid", "configuration", "environment", "_writes", "_released_token")
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        configuration: Configuration,
+        environment: Environment,
+    ) -> None:
+        self.pid = pid
+        self.configuration = configuration
+        self.environment = environment
+        self._writes: Dict[str, Any] = {}
+        self._released_token = False
+
+    # -- reads ---------------------------------------------------------- #
+    def read(self, pid: ProcessId, variable: str, default: Any = None) -> Any:
+        """Read ``variable`` of process ``pid`` from the pre-step snapshot."""
+        return self.configuration.get(pid, variable, default)
+
+    def own(self, variable: str, default: Any = None) -> Any:
+        """Read one of the executing process's own variables."""
+        return self.configuration.get(self.pid, variable, default)
+
+    def request_in(self) -> bool:
+        return self.environment.request_in(self.pid, self.configuration)
+
+    def request_out(self) -> bool:
+        return self.environment.request_out(self.pid, self.configuration)
+
+    # -- writes --------------------------------------------------------- #
+    def write(self, variable: str, value: Any) -> None:
+        """Buffer a write to one of the executing process's own variables."""
+        self._writes[variable] = value
+
+    @property
+    def writes(self) -> Dict[str, Any]:
+        return dict(self._writes)
+
+    def mark_token_released(self) -> None:
+        """Record that the statement invoked ``ReleaseToken_p`` (for tracing)."""
+        self._released_token = True
+
+    @property
+    def released_token(self) -> bool:
+        return self._released_token
+
+
+Guard = Callable[[ActionContext], bool]
+Statement = Callable[[ActionContext], None]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One guarded action ``label :: guard |-> statement`` of a local algorithm."""
+
+    label: str
+    guard: Guard
+    statement: Statement
+
+    def enabled(self, ctx: ActionContext) -> bool:
+        return bool(self.guard(ctx))
+
+    def execute(self, ctx: ActionContext) -> None:
+        self.statement(ctx)
+
+
+class DistributedAlgorithm(abc.ABC):
+    """A distributed algorithm: one local algorithm per process.
+
+    Subclasses describe
+
+    * the set of processes (:meth:`process_ids`),
+    * each process's variables with a legitimate initial value
+      (:meth:`initial_state`) and, for stabilization experiments, an
+      arbitrary value drawn from the variable domains
+      (:meth:`arbitrary_state`),
+    * the ordered list of guarded actions of each process
+      (:meth:`actions`); the list order encodes priority, **later = higher**.
+    """
+
+    @abc.abstractmethod
+    def process_ids(self) -> Tuple[ProcessId, ...]:
+        """All process identifiers (a total order, as the paper assumes)."""
+
+    @abc.abstractmethod
+    def initial_state(self, pid: ProcessId) -> Dict[str, Any]:
+        """A legitimate ("clean start") variable assignment for ``pid``."""
+
+    @abc.abstractmethod
+    def arbitrary_state(self, pid: ProcessId, rng: Any) -> Dict[str, Any]:
+        """A uniformly arbitrary variable assignment for ``pid`` (fault model)."""
+
+    @abc.abstractmethod
+    def actions(self, pid: ProcessId) -> Sequence[Action]:
+        """Ordered guarded actions of ``pid`` (later in the list = higher priority)."""
+
+    # ------------------------------------------------------------------ #
+    # conveniences shared by all algorithms
+    # ------------------------------------------------------------------ #
+    def initial_configuration(self) -> Configuration:
+        """The all-legitimate starting configuration."""
+        return Configuration({pid: self.initial_state(pid) for pid in self.process_ids()})
+
+    def arbitrary_configuration(self, rng: Any) -> Configuration:
+        """A configuration with every variable drawn arbitrarily (transient faults)."""
+        return Configuration({pid: self.arbitrary_state(pid, rng) for pid in self.process_ids()})
+
+    def enabled_action(
+        self, pid: ProcessId, configuration: Configuration, environment: Environment
+    ) -> Optional[Action]:
+        """The highest-priority enabled action of ``pid`` in ``configuration``.
+
+        Returns ``None`` when ``pid`` is disabled.  Priority follows the
+        paper's convention: the action appearing *last* in :meth:`actions`
+        wins.
+        """
+        ctx = ActionContext(pid, configuration, environment)
+        chosen: Optional[Action] = None
+        for action in self.actions(pid):
+            if action.enabled(ctx):
+                chosen = action
+        return chosen
+
+    def enabled_processes(
+        self, configuration: Configuration, environment: Environment
+    ) -> Dict[ProcessId, Action]:
+        """``Enabled(γ)`` with, for each enabled process, its priority action."""
+        enabled: Dict[ProcessId, Action] = {}
+        for pid in self.process_ids():
+            action = self.enabled_action(pid, configuration, environment)
+            if action is not None:
+                enabled[pid] = action
+        return enabled
+
+    def variable_names(self) -> Tuple[str, ...]:
+        """Names of the variables of the first process (assumed uniform)."""
+        first = self.process_ids()[0]
+        return tuple(sorted(self.initial_state(first)))

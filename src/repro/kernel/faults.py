@@ -1,0 +1,88 @@
+"""Transient faults: arbitrary initial configurations and mid-run corruption.
+
+Snap-stabilization (Section 2.5) is evaluated by studying the system *after*
+the last fault: computations start from an arbitrary configuration but are
+themselves fault-free.  The helpers here build such arbitrary configurations
+and, for the snap-vs-self benchmark, corrupt a running system in place
+("injecting" a burst of transient faults) so that recovery behaviour can be
+observed in a single trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+from repro.kernel.algorithm import DistributedAlgorithm
+from repro.kernel.configuration import Configuration, ProcessId
+
+
+def arbitrary_configuration(
+    algorithm: DistributedAlgorithm, seed: Optional[int] = None
+) -> Configuration:
+    """A configuration with every process's variables drawn arbitrarily.
+
+    Delegates to the algorithm's :meth:`arbitrary_state`, which draws every
+    variable uniformly from its domain (including inconsistent combinations
+    such as ``S = waiting`` with ``P = ⊥``), exactly the adversarial starting
+    points the snap-stabilization proofs quantify over.
+    """
+    rng = random.Random(seed)
+    return algorithm.arbitrary_configuration(rng)
+
+
+class FaultInjector:
+    """Corrupts a subset of processes of an existing configuration.
+
+    Parameters
+    ----------
+    algorithm:
+        Used to draw replacement values from the per-process variable domains.
+    fraction:
+        Fraction of processes whose state is replaced by arbitrary values
+        when :meth:`corrupt` is called (at least one process is always hit
+        when ``fraction > 0``).
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        algorithm: DistributedAlgorithm,
+        fraction: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        self._algorithm = algorithm
+        self._fraction = fraction
+        self._rng = random.Random(seed)
+
+    def corrupt(
+        self,
+        configuration: Configuration,
+        victims: Optional[Iterable[ProcessId]] = None,
+    ) -> Configuration:
+        """Return a copy of ``configuration`` with some processes corrupted.
+
+        ``victims`` overrides the random choice of which processes are hit.
+        """
+        states = configuration.to_dict()
+        all_pids = sorted(states)
+        if victims is None:
+            count = max(1, int(round(self._fraction * len(all_pids)))) if self._fraction > 0 else 0
+            victims = self._rng.sample(all_pids, min(count, len(all_pids)))
+        for pid in victims:
+            states[pid] = self._algorithm.arbitrary_state(pid, self._rng)
+        return Configuration(states)
+
+    def corrupt_variables(
+        self,
+        configuration: Configuration,
+        pid: ProcessId,
+        variables: Dict[str, Any],
+    ) -> Configuration:
+        """Overwrite specific variables of one process (targeted fault)."""
+        states = configuration.to_dict()
+        states[pid].update(variables)
+        return Configuration(states)

@@ -1,0 +1,226 @@
+"""The execution engine: steps, rounds, termination.
+
+The scheduler repeatedly
+
+1. computes ``Enabled(γ)`` and, for each enabled process, its
+   highest-priority enabled action,
+2. asks the daemon for a non-empty subset of the enabled processes,
+3. lets every selected process execute its priority action *against the
+   pre-step configuration* (composite atomicity) and merges the buffered
+   writes into the next configuration,
+4. updates round bookkeeping: a round completes once every process that was
+   enabled at the beginning of the round has been activated or neutralized.
+
+A computation is maximal: the run stops when no process is enabled (terminal
+configuration) or when a step/round/predicate bound is hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.kernel.algorithm import ActionContext, DistributedAlgorithm, Environment
+from repro.kernel.configuration import Configuration, ProcessId
+from repro.kernel.daemon import Daemon, default_daemon
+from repro.kernel.trace import StepRecord, Trace
+
+
+@dataclass
+class SchedulerResult:
+    """Outcome of a run: the trace plus summary counters."""
+
+    trace: Trace
+    steps: int
+    rounds: int
+    terminated: bool
+    stop_reason: str
+
+    @property
+    def final(self) -> Configuration:
+        return self.trace.final
+
+
+class Scheduler:
+    """Executes a :class:`DistributedAlgorithm` under a daemon.
+
+    Parameters
+    ----------
+    algorithm:
+        The distributed algorithm to run.
+    environment:
+        External inputs (request predicates).  Defaults to the inert
+        :class:`~repro.kernel.algorithm.Environment`.
+    daemon:
+        Scheduling adversary.  Defaults to a distributed randomized daemon
+        with enforced weak fairness (the paper's assumption).
+    initial_configuration:
+        Starting configuration; defaults to the algorithm's legitimate
+        initial configuration.  Pass an arbitrary configuration (see
+        :mod:`repro.kernel.faults`) for stabilization experiments.
+    record_configurations:
+        If ``False``, only the initial and current configurations are kept
+        (step metadata is always recorded); use for long throughput runs.
+    """
+
+    def __init__(
+        self,
+        algorithm: DistributedAlgorithm,
+        environment: Optional[Environment] = None,
+        daemon: Optional[Daemon] = None,
+        initial_configuration: Optional[Configuration] = None,
+        record_configurations: bool = True,
+    ) -> None:
+        self.algorithm = algorithm
+        self.environment = environment if environment is not None else Environment()
+        self.daemon = daemon if daemon is not None else default_daemon()
+        self.daemon.reset()
+        self.environment.reset()
+        self.configuration = (
+            initial_configuration
+            if initial_configuration is not None
+            else algorithm.initial_configuration()
+        )
+        self.record_configurations = record_configurations
+        self.trace = Trace(self.configuration)
+        self.step_index = 0
+        # Round bookkeeping: the set of processes enabled at the start of the
+        # current round that have not yet been activated or neutralized.
+        self.round_index = 0
+        self._round_pending: Optional[Set[ProcessId]] = None
+        # Let stateful environments see the initial configuration.
+        self.environment.observe(self.configuration, -1)
+
+    # ------------------------------------------------------------------ #
+    # single step
+    # ------------------------------------------------------------------ #
+    def enabled(self) -> Dict[ProcessId, Any]:
+        """``Enabled(γ)`` with each process's priority action."""
+        return self.algorithm.enabled_processes(self.configuration, self.environment)
+
+    def step(self) -> Optional[StepRecord]:
+        """Execute one step; returns ``None`` if the configuration is terminal."""
+        enabled_map = self.enabled()
+        if not enabled_map:
+            return None
+        enabled_ids = tuple(sorted(enabled_map))
+
+        if self._round_pending is None:
+            # A new round starts: it must see the activation or
+            # neutralization of every process enabled right now.
+            self._round_pending = set(enabled_ids)
+
+        selected = self.daemon.select(enabled_ids, self.configuration, self.step_index)
+        selected = frozenset(p for p in selected if p in enabled_map)
+        if not selected:
+            # A daemon must select at least one enabled process; fall back to
+            # the smallest id to preserve the distributed property.
+            selected = frozenset({enabled_ids[0]})
+
+        writes: Dict[ProcessId, Dict[str, Any]] = {}
+        executed: Dict[ProcessId, str] = {}
+        for pid in sorted(selected):
+            action = enabled_map[pid]
+            ctx = ActionContext(pid, self.configuration, self.environment)
+            action.execute(ctx)
+            writes[pid] = ctx.writes
+            executed[pid] = action.label
+
+        new_configuration = self.configuration.updated(writes)
+
+        # Neutralization: enabled before, not selected, not enabled after.
+        enabled_after = set(
+            self.algorithm.enabled_processes(new_configuration, self.environment)
+        )
+        neutralized = frozenset(
+            pid
+            for pid in enabled_ids
+            if pid not in selected and pid not in enabled_after
+        )
+
+        record = StepRecord(
+            index=self.step_index,
+            selected=frozenset(selected),
+            executed=executed,
+            enabled_before=frozenset(enabled_ids),
+            neutralized=neutralized,
+            round_index=self.round_index,
+        )
+
+        # Advance round bookkeeping *after* stamping the record: the step is
+        # part of the round it completes.
+        self._round_pending -= set(selected)
+        self._round_pending -= set(neutralized)
+        # Processes that are simply no longer enabled (e.g. their guard went
+        # false because a neighbour moved) also stop being owed a move.
+        self._round_pending &= enabled_after | set(selected)
+        if not self._round_pending:
+            self.round_index += 1
+            self._round_pending = None
+
+        self.configuration = new_configuration
+        if self.record_configurations:
+            self.trace.append(new_configuration, record)
+        else:
+            self.trace.append_sparse(new_configuration, record)
+        self.step_index += 1
+        self.environment.observe(new_configuration, record.index)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # run loops
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        max_steps: int = 10_000,
+        max_rounds: Optional[int] = None,
+        stop_predicate: Optional[Callable[[Configuration, int], bool]] = None,
+        allow_idle_steps: bool = False,
+    ) -> SchedulerResult:
+        """Run until termination, a bound, or ``stop_predicate`` becomes true.
+
+        ``stop_predicate(configuration, step_index)`` is evaluated after every
+        step; when it returns ``True`` the run stops with reason
+        ``"predicate"``.
+
+        With ``allow_idle_steps=True`` a configuration with no enabled process
+        does *not* end the run: an "idle tick" is consumed instead (the
+        environment observes the unchanged configuration and external time
+        advances), so request predicates that depend on elapsed time -- e.g.
+        a professor deciding to leave a meeting after a while -- can become
+        true and re-enable the system.  This models the asynchronous
+        environment of the paper, where professors act at unpredictable real
+        times even while the algorithm itself is quiescent.
+        """
+        stop_reason = "max_steps"
+        terminated = False
+        while self.step_index < max_steps:
+            if max_rounds is not None and self.round_index >= max_rounds:
+                stop_reason = "max_rounds"
+                break
+            record = self.step()
+            if record is None:
+                if not allow_idle_steps:
+                    terminated = True
+                    stop_reason = "terminal"
+                    break
+                # Idle tick: no process can move, but external time passes.
+                self.environment.observe(self.configuration, self.step_index)
+                self.step_index += 1
+                continue
+            if stop_predicate is not None and stop_predicate(self.configuration, self.step_index):
+                stop_reason = "predicate"
+                break
+        else:
+            stop_reason = "max_steps"
+        return SchedulerResult(
+            trace=self.trace,
+            steps=self.step_index,
+            rounds=self.round_index + (0 if self._round_pending is None else 1),
+            terminated=terminated,
+            stop_reason=stop_reason,
+        )
+
+    def run_rounds(self, rounds: int, max_steps: int = 100_000) -> SchedulerResult:
+        """Run for (up to) a fixed number of rounds."""
+        return self.run(max_steps=max_steps, max_rounds=rounds)

@@ -1,0 +1,146 @@
+"""Computation traces.
+
+A computation is a maximal sequence of configurations ``γ0 γ1 ...`` produced
+by the scheduler.  The :class:`Trace` stores the configurations together with
+per-step metadata (which processes moved, which actions they executed, round
+boundaries) and offers the queries the spec checkers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.kernel.configuration import Configuration, ProcessId
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Metadata about one step ``γ_i -> γ_{i+1}``.
+
+    Attributes
+    ----------
+    index:
+        The step number (0 is the step leading from ``γ0`` to ``γ1``).
+    selected:
+        Processes chosen by the daemon.
+    executed:
+        Map from each moving process to the label of the action it executed.
+    enabled_before:
+        Processes enabled in the source configuration.
+    neutralized:
+        Processes that were enabled before the step, did not move, and are no
+        longer enabled after it (the paper's *neutralization*).
+    round_index:
+        Index of the round this step belongs to (0-based).
+    """
+
+    index: int
+    selected: FrozenSet[ProcessId]
+    executed: Mapping[ProcessId, str]
+    enabled_before: FrozenSet[ProcessId]
+    neutralized: FrozenSet[ProcessId]
+    round_index: int
+
+
+class Trace:
+    """A recorded computation: configurations plus step metadata.
+
+    Recording every configuration keeps spec checking simple and exact; for
+    the problem sizes of the paper's figures and of our benchmarks this is
+    cheap.  ``record_configurations=False`` in the scheduler produces a trace
+    that only keeps the first and last configurations plus step metadata,
+    which the throughput benchmarks use.
+    """
+
+    def __init__(self, initial: Configuration) -> None:
+        self._configurations: List[Configuration] = [initial]
+        self._steps: List[StepRecord] = []
+        self._sparse_final: Optional[Configuration] = None
+
+    # ------------------------------------------------------------------ #
+    # construction (used by the scheduler)
+    # ------------------------------------------------------------------ #
+    def append(self, configuration: Configuration, step: StepRecord) -> None:
+        self._configurations.append(configuration)
+        self._steps.append(step)
+
+    def append_sparse(self, configuration: Configuration, step: StepRecord) -> None:
+        """Record the step but keep only the latest configuration."""
+        self._sparse_final = configuration
+        self._steps.append(step)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def initial(self) -> Configuration:
+        return self._configurations[0]
+
+    @property
+    def final(self) -> Configuration:
+        if self._sparse_final is not None:
+            return self._sparse_final
+        return self._configurations[-1]
+
+    @property
+    def configurations(self) -> Sequence[Configuration]:
+        return tuple(self._configurations)
+
+    @property
+    def steps(self) -> Sequence[StepRecord]:
+        return tuple(self._steps)
+
+    @property
+    def length(self) -> int:
+        """Number of steps in the computation."""
+        return len(self._steps)
+
+    @property
+    def rounds(self) -> int:
+        """Number of completed rounds (per the Dolev-Israeli-Moran definition)."""
+        if not self._steps:
+            return 0
+        return self._steps[-1].round_index + 1
+
+    def __iter__(self) -> Iterator[Configuration]:
+        return iter(self._configurations)
+
+    def __len__(self) -> int:
+        return len(self._configurations)
+
+    # ------------------------------------------------------------------ #
+    # queries used by the spec checkers
+    # ------------------------------------------------------------------ #
+    def pairs(self) -> Iterator[Tuple[Configuration, Configuration, StepRecord]]:
+        """Iterate over ``(γ_i, γ_{i+1}, step_i)`` transitions (dense traces only)."""
+        for i, step in enumerate(self._steps):
+            if i + 1 < len(self._configurations):
+                yield self._configurations[i], self._configurations[i + 1], step
+
+    def executions_of(self, pid: ProcessId) -> List[Tuple[int, str]]:
+        """All ``(step_index, action_label)`` executions of process ``pid``."""
+        return [
+            (step.index, step.executed[pid])
+            for step in self._steps
+            if pid in step.executed
+        ]
+
+    def action_counts(self) -> Dict[str, int]:
+        """Histogram of action labels executed over the whole computation."""
+        counts: Dict[str, int] = {}
+        for step in self._steps:
+            for label in step.executed.values():
+                counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def variable_series(self, pid: ProcessId, variable: str) -> List[Any]:
+        """The successive values of one variable (dense traces only)."""
+        return [cfg.get(pid, variable) for cfg in self._configurations]
+
+    def step_of_round(self, round_index: int) -> Optional[int]:
+        """Index of the first step belonging to ``round_index`` (None if absent)."""
+        for step in self._steps:
+            if step.round_index == round_index:
+                return step.index
+        return None

@@ -1,0 +1,17 @@
+"""Quantitative metrics: concurrency, waiting time, throughput."""
+
+from repro.metrics.collector import TraceMetrics, collect_metrics
+from repro.metrics.concurrency import FairConcurrencyResult, degree_of_fair_concurrency
+from repro.metrics.waiting_time import WaitingTimeResult, measure_waiting_time
+from repro.metrics.throughput import ThroughputResult, measure_throughput
+
+__all__ = [
+    "TraceMetrics",
+    "collect_metrics",
+    "FairConcurrencyResult",
+    "degree_of_fair_concurrency",
+    "WaitingTimeResult",
+    "measure_waiting_time",
+    "ThroughputResult",
+    "measure_throughput",
+]

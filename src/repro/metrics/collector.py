@@ -1,0 +1,63 @@
+"""Per-trace metric aggregation.
+
+``collect_metrics`` condenses one recorded trace into the numbers the
+benchmark harness and ``EXPERIMENTS.md`` report: meetings convened, average
+and peak concurrency, per-professor participation statistics and the action
+histogram (useful for inspecting how much work the stabilization actions do
+after a fault).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph, ProcessId
+from repro.kernel.trace import Trace
+from repro.spec.events import concurrency_profile, convened_meetings, participations
+from repro.spec.fairness import professor_fairness_counts
+
+
+@dataclass(frozen=True)
+class TraceMetrics:
+    """Summary numbers for one computation."""
+
+    steps: int
+    rounds: int
+    meetings_convened: int
+    peak_concurrency: int
+    mean_concurrency: float
+    min_professor_participations: int
+    max_professor_participations: int
+    jain_fairness_index: float
+    action_counts: Dict[str, int]
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "steps": self.steps,
+            "rounds": self.rounds,
+            "meetings": self.meetings_convened,
+            "peak_conc": self.peak_concurrency,
+            "mean_conc": round(self.mean_concurrency, 3),
+            "min_part": self.min_professor_participations,
+            "max_part": self.max_professor_participations,
+            "jain": round(self.jain_fairness_index, 3),
+        }
+
+
+def collect_metrics(trace: Trace, hypergraph: Hypergraph) -> TraceMetrics:
+    """Compute :class:`TraceMetrics` for a densely-recorded trace."""
+    profile = concurrency_profile(trace, hypergraph)
+    convened = convened_meetings(trace, hypergraph)
+    fairness = professor_fairness_counts(trace, hypergraph)
+    return TraceMetrics(
+        steps=trace.length,
+        rounds=trace.rounds,
+        meetings_convened=len(convened),
+        peak_concurrency=max(profile) if profile else 0,
+        mean_concurrency=(sum(profile) / len(profile)) if profile else 0.0,
+        min_professor_participations=fairness.min_professor_participations,
+        max_professor_participations=fairness.max_professor_participations,
+        jain_fairness_index=fairness.professor_jain_index(),
+        action_counts=trace.action_counts(),
+    )

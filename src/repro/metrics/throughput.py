@@ -1,0 +1,68 @@
+"""Meeting throughput and steady-state concurrency.
+
+Used by the qualitative comparison benchmark (CC1 vs CC2 vs CC3 vs the
+baselines of Section 6): how many meetings convene per round, and how many
+are typically held simultaneously, under a common request model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.base import CommitteeAlgorithmBase
+from repro.kernel.daemon import Daemon, default_daemon
+from repro.kernel.scheduler import Scheduler
+from repro.metrics.collector import collect_metrics
+from repro.workloads.request_models import AlwaysRequestingEnvironment
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Steady-state throughput numbers for one algorithm on one topology."""
+
+    meetings_convened: int
+    steps: int
+    rounds: int
+    meetings_per_round: float
+    mean_concurrency: float
+    peak_concurrency: int
+    min_professor_participations: int
+    jain_fairness_index: float
+
+    def as_row(self) -> dict:
+        return {
+            "meetings": self.meetings_convened,
+            "rounds": self.rounds,
+            "meetings/round": round(self.meetings_per_round, 3),
+            "mean_conc": round(self.mean_concurrency, 3),
+            "peak_conc": self.peak_concurrency,
+            "min_part": self.min_professor_participations,
+            "jain": round(self.jain_fairness_index, 3),
+        }
+
+
+def measure_throughput(
+    algorithm: CommitteeAlgorithmBase,
+    max_steps: int = 3000,
+    discussion_steps: int = 1,
+    daemon: Optional[Daemon] = None,
+    seed: Optional[int] = None,
+) -> ThroughputResult:
+    """Run with an always-requesting workload and summarize meeting throughput."""
+    environment = AlwaysRequestingEnvironment(discussion_steps=discussion_steps)
+    daemon = daemon if daemon is not None else default_daemon(seed=seed)
+    scheduler = Scheduler(algorithm, environment=environment, daemon=daemon)
+    result = scheduler.run(max_steps=max_steps)
+    metrics = collect_metrics(result.trace, algorithm.hypergraph)
+    rounds = max(1, metrics.rounds)
+    return ThroughputResult(
+        meetings_convened=metrics.meetings_convened,
+        steps=metrics.steps,
+        rounds=metrics.rounds,
+        meetings_per_round=metrics.meetings_convened / rounds,
+        mean_concurrency=metrics.mean_concurrency,
+        peak_concurrency=metrics.peak_concurrency,
+        min_professor_participations=metrics.min_professor_participations,
+        jain_fairness_index=metrics.jain_fairness_index,
+    )

@@ -1,0 +1,93 @@
+"""2-Phase Discussion checkers (Definition 1).
+
+* **Essential discussion**: after a meeting convenes, every participating
+  professor performs its essential discussion (operationally: it executes the
+  ``Step32`` / ``Step3`` action, i.e. reaches status ``done`` while its
+  committee is meeting) before the meeting can terminate.
+* **Voluntary discussion**: the meeting then continues until some professor
+  *voluntarily* terminates it, i.e. the committee only stops meeting because
+  a member executed ``Step4`` (left with status ``done``) -- never because a
+  member abandoned the meeting in another way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.states import DONE, POINTER, STATUS, WAITING
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
+from repro.kernel.trace import Trace
+from repro.spec.events import committee_meets, meeting_events
+from repro.spec.properties import PropertyReport
+
+
+def _meeting_intervals(trace: Trace, hypergraph: Hypergraph) -> List[Tuple[Hyperedge, int, Optional[int]]]:
+    """Pair every convene event with the matching terminate event (or ``None``)."""
+    intervals: List[Tuple[Hyperedge, int, Optional[int]]] = []
+    open_since: Dict[Hyperedge, int] = {}
+    for event in meeting_events(trace, hypergraph):
+        if event.kind == "convene":
+            open_since[event.committee] = event.configuration_index
+        else:
+            start = open_since.pop(event.committee, None)
+            if start is not None:
+                intervals.append((event.committee, start, event.configuration_index))
+    for committee, start in open_since.items():
+        intervals.append((committee, start, None))
+    return intervals
+
+
+def check_essential_discussion(trace: Trace, hypergraph: Hypergraph) -> PropertyReport:
+    """Every member of a convened-and-terminated meeting reached ``done`` during it."""
+    violations: List[str] = []
+    configurations = trace.configurations
+    for committee, start, end in _meeting_intervals(trace, hypergraph):
+        if end is None:
+            continue  # still meeting at the end of the trace: nothing to check yet
+        reached_done = {member: False for member in committee}
+        for index in range(start, end):
+            cfg = configurations[index]
+            for member in committee:
+                if cfg.get(member, STATUS) == DONE and cfg.get(member, POINTER) == committee:
+                    reached_done[member] = True
+        missing = [m for m, ok in reached_done.items() if not ok]
+        if missing:
+            violations.append(
+                f"meeting of {tuple(committee.members)} (configurations {start}..{end}) "
+                f"terminated before members {missing} performed their essential discussion"
+            )
+    return PropertyReport("EssentialDiscussion", not violations, violations)
+
+
+def check_voluntary_discussion(trace: Trace, hypergraph: Hypergraph) -> PropertyReport:
+    """A convened meeting only terminates because a member voluntarily left.
+
+    Operationally: in the step that makes the committee stop meeting, at
+    least one member that was pointing at the committee with status ``done``
+    resets its pointer (the ``Step4`` signature).  A meeting that dissolves
+    any other way (e.g. a member jumping straight to another committee)
+    violates voluntary discussion.
+    """
+    violations: List[str] = []
+    configurations = trace.configurations
+    for committee, start, end in _meeting_intervals(trace, hypergraph):
+        if end is None or end == 0:
+            continue
+        before = configurations[end - 1]
+        after = configurations[end]
+        voluntary = False
+        for member in committee:
+            was_done_here = (
+                before.get(member, STATUS) == DONE
+                and before.get(member, POINTER) == committee
+            )
+            left = after.get(member, POINTER) != committee
+            if was_done_here and left:
+                voluntary = True
+                break
+        if not voluntary:
+            violations.append(
+                f"meeting of {tuple(committee.members)} terminated at configuration {end} "
+                "without any member voluntarily leaving from the done status"
+            )
+    return PropertyReport("VoluntaryDiscussion", not violations, violations)

@@ -1,0 +1,103 @@
+"""Trace-level vocabulary: meetings, convening, terminating, participating.
+
+These are the Section 4.2 definitions, applied to recorded configurations:
+
+* a process ``p`` is **idle** iff ``S_p = idle``;
+* ``p`` is **waiting** iff ``S_p ∈ {looking, waiting}``;
+* a committee ``ε`` **meets** in ``γ`` iff every member ``p ∈ ε`` has
+  ``P_p = ε`` and ``S_p ∈ {waiting, done}``;
+* ``ε`` **convenes** in ``γ_i`` (``i > 0``) iff it meets in ``γ_i`` but not
+  in ``γ_{i-1}``, and **terminates** symmetrically;
+* every member of a meeting committee **participates** in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.states import DONE, IDLE, LOOKING, POINTER, STATUS, WAITING
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
+from repro.kernel.configuration import Configuration
+from repro.kernel.trace import Trace
+
+
+def committee_meets(configuration: Configuration, edge: Hyperedge) -> bool:
+    """``True`` iff committee ``edge`` meets in ``configuration``."""
+    return all(
+        configuration.get(q, POINTER) == edge
+        and configuration.get(q, STATUS) in (WAITING, DONE)
+        for q in edge
+    )
+
+
+def meetings_in(configuration: Configuration, hypergraph: Hypergraph) -> Tuple[Hyperedge, ...]:
+    """All committees meeting in ``configuration``."""
+    return tuple(e for e in hypergraph.hyperedges if committee_meets(configuration, e))
+
+
+def waiting_processes(configuration: Configuration) -> Tuple[ProcessId, ...]:
+    """Processes in the problem-level *waiting* state (status looking or waiting)."""
+    return tuple(
+        p for p in configuration if configuration.get(p, STATUS) in (LOOKING, WAITING)
+    )
+
+
+def idle_processes(configuration: Configuration) -> Tuple[ProcessId, ...]:
+    return tuple(p for p in configuration if configuration.get(p, STATUS) == IDLE)
+
+
+@dataclass(frozen=True)
+class MeetingEvent:
+    """A convene or terminate event extracted from a trace."""
+
+    kind: str  # "convene" or "terminate"
+    committee: Hyperedge
+    configuration_index: int  # index i such that the event happens "in γ_i"
+
+
+def meeting_events(trace: Trace, hypergraph: Hypergraph) -> List[MeetingEvent]:
+    """All convene/terminate events of a (densely recorded) trace."""
+    events: List[MeetingEvent] = []
+    configurations = trace.configurations
+    previous = {e: committee_meets(configurations[0], e) for e in hypergraph.hyperedges}
+    for index in range(1, len(configurations)):
+        current_cfg = configurations[index]
+        for edge in hypergraph.hyperedges:
+            now = committee_meets(current_cfg, edge)
+            before = previous[edge]
+            if now and not before:
+                events.append(MeetingEvent("convene", edge, index))
+            elif before and not now:
+                events.append(MeetingEvent("terminate", edge, index))
+            previous[edge] = now
+    return events
+
+
+def convened_meetings(trace: Trace, hypergraph: Hypergraph) -> List[MeetingEvent]:
+    """Only the convene events."""
+    return [e for e in meeting_events(trace, hypergraph) if e.kind == "convene"]
+
+
+def terminated_meetings(trace: Trace, hypergraph: Hypergraph) -> List[MeetingEvent]:
+    """Only the terminate events."""
+    return [e for e in meeting_events(trace, hypergraph) if e.kind == "terminate"]
+
+
+def participations(trace: Trace, hypergraph: Hypergraph) -> Dict[ProcessId, int]:
+    """Number of distinct meetings each professor participated in.
+
+    A professor participates in a meeting for every convene event of a
+    committee it belongs to.  (Counting convene events rather than
+    configurations avoids counting a long meeting many times.)
+    """
+    counts: Dict[ProcessId, int] = {p: 0 for p in hypergraph.vertices}
+    for event in convened_meetings(trace, hypergraph):
+        for member in event.committee:
+            counts[member] += 1
+    return counts
+
+
+def concurrency_profile(trace: Trace, hypergraph: Hypergraph) -> List[int]:
+    """Number of simultaneously-held meetings in every configuration."""
+    return [len(meetings_in(cfg, hypergraph)) for cfg in trace.configurations]

@@ -1,0 +1,131 @@
+"""The three core properties: Exclusion, Synchronization, Progress.
+
+The checkers return :class:`PropertyReport` objects listing every violation
+found, so failing checks are debuggable.  Because our algorithms are
+snap-stabilizing, Exclusion and Synchronization are checked on *convened*
+meetings only -- the paper's guarantee is that every meeting **convened
+after the last fault** satisfies the specification; a committee that appears
+to be "meeting" in the arbitrary initial configuration was not convened by
+the algorithm and carries no guarantee (Section 2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.states import DONE, POINTER, STATUS, WAITING, LOOKING
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
+from repro.kernel.configuration import Configuration
+from repro.kernel.trace import Trace
+from repro.spec.events import committee_meets, convened_meetings, meetings_in
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of a property check."""
+
+    name: str
+    holds: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_exclusion(trace: Trace, hypergraph: Hypergraph) -> PropertyReport:
+    """*No two conflicting committees may meet simultaneously.*
+
+    Checked on every configuration from the first configuration in which a
+    meeting convened (meetings inherited from the arbitrary initial
+    configuration are exempt, but as soon as a committee convenes it must not
+    conflict with any other *meeting* committee -- this is exactly the
+    "no interference" guarantee of snap-stabilization).
+    """
+    violations: List[str] = []
+    convene_indices = {e.configuration_index for e in convened_meetings(trace, hypergraph)}
+    if not convene_indices:
+        return PropertyReport("Exclusion", True)
+    start = min(convene_indices)
+    configurations = trace.configurations
+    for index in range(start, len(configurations)):
+        held = meetings_in(configurations[index], hypergraph)
+        for i, a in enumerate(held):
+            for b in held[i + 1 :]:
+                if a.intersects(b):
+                    violations.append(
+                        f"configuration {index}: conflicting committees {tuple(a.members)} "
+                        f"and {tuple(b.members)} meet simultaneously"
+                    )
+    return PropertyReport("Exclusion", not violations, violations)
+
+
+def check_synchronization(trace: Trace, hypergraph: Hypergraph) -> PropertyReport:
+    """*A meeting may convene only if all members of the committee are waiting.*
+
+    Lemma 2 sharpens this: when a committee convenes, every member has
+    ``P = ε`` and ``S = waiting``.  We check the sharpened form on the
+    configuration in which each convene event occurs.
+    """
+    violations: List[str] = []
+    configurations = trace.configurations
+    for event in convened_meetings(trace, hypergraph):
+        cfg = configurations[event.configuration_index]
+        for member in event.committee:
+            status = cfg.get(member, STATUS)
+            pointer = cfg.get(member, POINTER)
+            if status != WAITING or pointer != event.committee:
+                violations.append(
+                    f"configuration {event.configuration_index}: committee "
+                    f"{tuple(event.committee.members)} convened but member {member} has "
+                    f"S={status!r}, P={pointer!r}"
+                )
+    return PropertyReport("Synchronization", not violations, violations)
+
+
+def check_progress(
+    trace: Trace,
+    hypergraph: Hypergraph,
+    grace_steps: Optional[int] = None,
+) -> PropertyReport:
+    """*If all members of a committee are waiting, some member eventually meets.*
+
+    Finite-trace rendering: we flag a violation if some committee had **all**
+    its members continuously waiting (problem-level waiting, i.e. status
+    ``looking`` or ``waiting``) for the last ``grace_steps`` configurations of
+    the trace and none of its members ever participated in a meeting during
+    that window.  ``grace_steps`` defaults to half the trace length.
+
+    This is necessarily an approximation of a liveness property; the default
+    window is generous enough that the algorithms' progress mechanisms (token
+    priority) act well within it for the sizes we simulate.
+    """
+    configurations = trace.configurations
+    if len(configurations) < 4:
+        return PropertyReport("Progress", True)
+    window = grace_steps if grace_steps is not None else max(2, len(configurations) // 2)
+    window = min(window, len(configurations) - 1)
+    tail = configurations[-window:]
+
+    violations: List[str] = []
+    for edge in hypergraph.hyperedges:
+        all_waiting_throughout = all(
+            all(cfg.get(q, STATUS) in (LOOKING, WAITING) for q in edge) for cfg in tail
+        )
+        if not all_waiting_throughout:
+            continue
+        # Did any member participate in a meeting during the window?
+        member_met = False
+        for cfg in tail:
+            for other in hypergraph.hyperedges:
+                if committee_meets(cfg, other) and any(q in other for q in edge):
+                    member_met = True
+                    break
+            if member_met:
+                break
+        if not member_met:
+            violations.append(
+                f"committee {tuple(edge.members)}: all members waiting for the last "
+                f"{window} configurations and none participated in any meeting"
+            )
+    return PropertyReport("Progress", not violations, violations)

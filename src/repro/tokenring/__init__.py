@@ -1,0 +1,52 @@
+"""Self-stabilizing token circulation substrate (the paper's ``TC`` module).
+
+Section 4.1 treats token circulation as a black box with **Property 1**:
+
+* it offers one action ``T :: Token(p) |-> ReleaseToken_p`` passing the token
+  from neighbour to neighbour,
+* once stabilized, every process executes ``T`` infinitely often, and when
+  ``T`` is enabled at a process it is enabled at no other process (a unique
+  token circulating fairly),
+* ``TC`` stabilizes independently of the activations of ``T``.
+
+The committee coordination algorithms consume this interface through
+:class:`~repro.tokenring.interfaces.TokenModule`: the composed algorithm
+``CC ∘ TC`` does not contain ``T`` explicitly -- ``Token(p)`` is a predicate
+input and ``ReleaseToken_p`` a statement input, exactly as in the paper.
+
+Provided implementations:
+
+* :class:`~repro.tokenring.dijkstra_ring.DijkstraRingToken` -- Dijkstra's
+  K-state self-stabilizing token circulation over a virtual ring (default:
+  processes in id order).  Tolerates arbitrary counter values: spurious
+  tokens disappear as the token(s) circulate.
+* :class:`~repro.tokenring.oracle.OracleTokenModule` -- the same algorithm
+  but always initialized in a legitimate (single-token) configuration; used
+  to isolate the CC layer in tests and in experiments where the paper
+  assumes ``TC`` already stabilized.
+* :class:`~repro.tokenring.tree_circulation.TreeTokenCirculation` -- token
+  circulation along the DFS (Euler-tour) order of a spanning tree of the
+  underlying communication network, so consecutive holders are always
+  neighbours in ``G_H``.
+* :class:`~repro.tokenring.leader_election.SelfStabilizingLeaderElection`
+  and :class:`~repro.tokenring.composed.ComposedTokenCirculation` -- the
+  leader-election ∘ token-circulation construction the paper cites for
+  building ``TC`` in arbitrary networks.
+"""
+
+from repro.tokenring.interfaces import TokenModule
+from repro.tokenring.dijkstra_ring import DijkstraRingAlgorithm, DijkstraRingToken
+from repro.tokenring.oracle import OracleTokenModule
+from repro.tokenring.leader_election import SelfStabilizingLeaderElection
+from repro.tokenring.tree_circulation import TreeTokenCirculation
+from repro.tokenring.composed import ComposedTokenCirculation
+
+__all__ = [
+    "TokenModule",
+    "DijkstraRingAlgorithm",
+    "DijkstraRingToken",
+    "OracleTokenModule",
+    "SelfStabilizingLeaderElection",
+    "TreeTokenCirculation",
+    "ComposedTokenCirculation",
+]

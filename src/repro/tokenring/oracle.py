@@ -1,0 +1,49 @@
+"""Idealized ("oracle") token module.
+
+The paper's correctness arguments for the CC layer only rely on Property 1
+(eventually a unique, fairly circulating token).  When testing or measuring
+the CC layer itself it is often convenient to start from a token layer that
+is *already* stabilized even when the CC variables are arbitrary -- the
+oracle module provides exactly that: it behaves like
+:class:`~repro.tokenring.dijkstra_ring.DijkstraRingToken` but its
+"arbitrary" configurations are legitimate single-token configurations (with
+a random token position), so stabilization noise from the token layer never
+obscures a CC-layer experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.kernel.configuration import ProcessId
+from repro.tokenring.dijkstra_ring import COUNTER, DijkstraRingToken
+
+
+class OracleTokenModule(DijkstraRingToken):
+    """A Dijkstra ring whose arbitrary configurations are already legitimate.
+
+    ``arbitrary_variables`` draws a single random *token position* rather than
+    random counters: the processes up to (and including) the chosen holder's
+    ring position get counter 1 and the rest keep counter 0, which is a
+    legitimate configuration in which exactly the chosen process holds the
+    token.  The draw is memoised per RNG instance so that all processes of a
+    configuration agree on the position.
+    """
+
+    def arbitrary_variables(self, pid: ProcessId, rng: Any) -> Dict[str, Any]:
+        position = getattr(rng, "_oracle_token_position", None)
+        if position is None:
+            position = rng.randrange(len(self.ring))
+            setattr(rng, "_oracle_token_position", position)
+        ring = self.ring
+        my_index = ring.index(pid)
+        if position == len(ring) - 1:
+            # Token back at the root: every counter equal.
+            return {COUNTER: 0}
+        # Processes at ring positions 1..position have copied the root's new
+        # value (1); later positions still hold the old value (0).  The token
+        # then sits at ring position ``position + 1`` ... i.e. the first
+        # process whose counter differs from its predecessor's.
+        if my_index == 0:
+            return {COUNTER: 1}
+        return {COUNTER: 1 if my_index <= position else 0}

@@ -1,0 +1,80 @@
+"""Token circulation along a spanning tree of the communication network.
+
+The virtual ring of :class:`~repro.tokenring.dijkstra_ring.DijkstraRingToken`
+ignores the topology; this module instead orders the processes by the DFS
+preorder of a BFS spanning tree of the underlying communication network
+``G_H``, rooted at the maximum-id process (the leader the election module
+elects).  Consecutive ring positions are then related by short tree paths, so
+the circulation approximates the neighbour-to-neighbour hand-off of the DFS
+token circulations the paper cites ([24-27]); the counter mechanics (and the
+self-stabilization argument) are exactly Dijkstra's K-state algorithm.
+
+This is the token module the high-level runner uses by default when the
+hypergraph is connected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph, ProcessId
+from repro.tokenring.dijkstra_ring import DijkstraRingToken
+
+
+def dfs_preorder_of_spanning_tree(
+    hypergraph: Hypergraph, root: Optional[ProcessId] = None
+) -> Tuple[ProcessId, ...]:
+    """DFS preorder of a BFS spanning tree of ``G_H`` rooted at ``root``.
+
+    ``root`` defaults to the maximum process id.  Children are visited in
+    increasing id order so the order is deterministic.  For a disconnected
+    communication network the remaining components are appended in id order
+    (each traversed the same way), so the result is always a permutation of
+    the vertex set.
+    """
+    if root is None:
+        root = max(hypergraph.vertices)
+    parent = hypergraph.bfs_spanning_tree(root)
+    children: Dict[ProcessId, List[ProcessId]] = {v: [] for v in parent}
+    for child, par in parent.items():
+        if child != par:
+            children[par].append(child)
+    for kids in children.values():
+        kids.sort()
+
+    order: List[ProcessId] = []
+    stack: List[ProcessId] = [root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        stack.extend(reversed(children[node]))
+
+    visited = set(order)
+    for pid in hypergraph.vertices:
+        if pid not in visited:
+            # Disconnected component: traverse it the same way.
+            sub_parent = hypergraph.bfs_spanning_tree(pid)
+            sub_children: Dict[ProcessId, List[ProcessId]] = {v: [] for v in sub_parent}
+            for child, par in sub_parent.items():
+                if child != par:
+                    sub_children[par].append(child)
+            for kids in sub_children.values():
+                kids.sort()
+            sub_stack = [pid]
+            while sub_stack:
+                node = sub_stack.pop()
+                if node in visited:
+                    continue
+                visited.add(node)
+                order.append(node)
+                sub_stack.extend(reversed(sub_children.get(node, [])))
+    return tuple(order)
+
+
+class TreeTokenCirculation(DijkstraRingToken):
+    """Dijkstra K-state circulation over the DFS preorder of a spanning tree."""
+
+    def __init__(self, hypergraph: Hypergraph, root: Optional[ProcessId] = None, k: Optional[int] = None) -> None:
+        order = dfs_preorder_of_spanning_tree(hypergraph, root)
+        super().__init__(hypergraph.vertices, ring_order=order, k=k)
+        self.hypergraph = hypergraph

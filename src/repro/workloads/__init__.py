@@ -1,0 +1,23 @@
+"""Workloads: professor request models and benchmark scenarios."""
+
+from repro.workloads.request_models import (
+    AlwaysRequestingEnvironment,
+    BurstyRequestEnvironment,
+    InfiniteMeetingEnvironment,
+    ProbabilisticRequestEnvironment,
+    ScriptedEnvironment,
+    SelectiveInfiniteMeetingEnvironment,
+)
+from repro.workloads.scenarios import Scenario, paper_scenarios, scaling_scenarios
+
+__all__ = [
+    "AlwaysRequestingEnvironment",
+    "BurstyRequestEnvironment",
+    "InfiniteMeetingEnvironment",
+    "ProbabilisticRequestEnvironment",
+    "ScriptedEnvironment",
+    "SelectiveInfiniteMeetingEnvironment",
+    "Scenario",
+    "paper_scenarios",
+    "scaling_scenarios",
+]

@@ -1,0 +1,160 @@
+"""The Theorem 1 witness execution (Figure 2).
+
+Theorem 1: no committee coordination algorithm can satisfy both Maximal
+Concurrency and Professor Fairness (assuming professors request infinitely
+often).  The proof constructs, on the hypergraph ``V = {1..5}``,
+``E = {{1,2}, {1,3,5}, {3,4}}``, a weakly-fair computation in which meetings
+of ``{1,2}`` and ``{3,4}`` alternate in a staggered fashion so that
+professors 1 and 3 are never simultaneously waiting -- hence ``{1,3,5}``
+never convenes and professor 5 starves, even though every meeting demanded by
+Maximal Concurrency is delivered.
+
+This module reproduces that adversarial execution operationally for our
+*actual* algorithms:
+
+* run on ``CC1 ∘ TC`` (which satisfies Maximal Concurrency), the schedule
+  starves professor 5 -- the unfairness the paper accepts in exchange for
+  maximal concurrency;
+* run on ``CC2 ∘ TC`` (which sacrifices Maximal Concurrency), the token
+  eventually reaches professor 5, the lock mechanism holds committee
+  ``{1,3,5}`` together, and professor 5 meets -- fairness restored.
+
+The adversary needs two ingredients, both legitimate under the paper's
+assumptions:
+
+1. an initial configuration in which ``{1,2}`` is already meeting while
+   3, 4, 5 are waiting (configuration *A* of Figure 2) -- any configuration
+   is a legal starting point for a snap-stabilizing algorithm;
+2. request timings (``RequestOut``) that keep the two 2-committees staggered:
+   the members of ``{1,2}`` only want to leave while ``{3,4}`` is meeting and
+   vice versa.  Professors re-request immediately (``RequestIn`` always true).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.base import CommitteeAlgorithmBase
+from repro.core.states import DONE, LOOKING, POINTER, STATUS, TOKEN_FLAG
+from repro.hypergraph.generators import figure2_hypergraph
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
+from repro.kernel.configuration import Configuration
+from repro.kernel.daemon import default_daemon
+from repro.kernel.scheduler import Scheduler
+from repro.spec.events import committee_meets, convened_meetings
+from repro.spec.fairness import FairnessSummary, professor_fairness_counts
+from repro.workloads.request_models import ScriptedEnvironment
+
+E12 = Hyperedge([1, 2])
+E135 = Hyperedge([1, 3, 5])
+E34 = Hyperedge([3, 4])
+
+
+@dataclass(frozen=True)
+class ImpossibilityOutcome:
+    """Result of one adversarial run."""
+
+    algorithm: str
+    steps: int
+    fairness: FairnessSummary
+    meetings_convened: int
+
+    @property
+    def professor5_participations(self) -> int:
+        return self.fairness.per_professor.get(5, 0)
+
+    @property
+    def min_other_participations(self) -> int:
+        others = [c for p, c in self.fairness.per_professor.items() if p != 5]
+        return min(others) if others else 0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "meetings": self.meetings_convened,
+            "prof 1-4 min participations": self.min_other_participations,
+            "prof 5 participations": self.professor5_participations,
+            "prof 5 starved": self.professor5_participations == 0,
+        }
+
+
+def staggered_environment(
+    hypergraph: Hypergraph, timeout_steps: int = 80
+) -> ScriptedEnvironment:
+    """Request model realizing the staggered meeting durations of the proof.
+
+    Members of ``{1,2}`` want to leave only once ``{3,4}`` meets, and vice
+    versa -- this keeps professors 1 and 3 out of phase, which is the entire
+    adversarial trick of Theorem 1.  To remain a *legal* workload (the problem
+    statement requires all meetings to terminate in finite time, and
+    ``RequestOut`` must eventually hold for a professor stuck in a terminated
+    or blocked meeting) every professor additionally agrees to leave after
+    ``timeout_steps`` steps of discussion, whatever the other committee is
+    doing.  Professor 5 follows the default behaviour.
+
+    The environment tracks per-professor ``done`` step counts itself (via the
+    shared mixin), so the timeout needs no extra machinery.
+    """
+
+    environment = ScriptedEnvironment(default_discussion_steps=1)
+
+    def out_while(pid: int, other: Hyperedge):
+        def predicate(configuration: Configuration, step: int) -> bool:
+            if committee_meets(configuration, other):
+                return True
+            return environment.done_steps(pid) >= timeout_steps
+
+        return predicate
+
+    environment._out_script.update(  # scripted predicates close over the env itself
+        {
+            1: out_while(1, E34),
+            2: out_while(2, E34),
+            3: out_while(3, E12),
+            4: out_while(4, E12),
+        }
+    )
+    return environment
+
+
+def configuration_a(algorithm: CommitteeAlgorithmBase) -> Configuration:
+    """Configuration *A* of Figure 2: ``{1,2}`` meeting, professors 3, 4, 5 waiting."""
+    states = algorithm.initial_configuration().to_dict()
+    for pid in (1, 2):
+        states[pid][STATUS] = DONE
+        states[pid][POINTER] = E12
+    for pid in (3, 4, 5):
+        states[pid][STATUS] = LOOKING
+        states[pid][POINTER] = None
+        states[pid][TOKEN_FLAG] = False
+    return Configuration(states)
+
+
+def run_adversarial_schedule(
+    algorithm: CommitteeAlgorithmBase,
+    name: str,
+    max_steps: int = 2500,
+    seed: int = 0,
+    timeout_steps: int = 80,
+) -> ImpossibilityOutcome:
+    """Run one algorithm under the Theorem 1 adversarial schedule."""
+    hypergraph = algorithm.hypergraph
+    environment = staggered_environment(hypergraph, timeout_steps=timeout_steps)
+    scheduler = Scheduler(
+        algorithm,
+        environment=environment,
+        daemon=default_daemon(seed=seed),
+        initial_configuration=configuration_a(algorithm),
+    )
+    # Idle steps are allowed: while every process is disabled (e.g. everybody
+    # discussing), external time still passes so the timeout fallback of the
+    # request model can fire -- meetings stay finite, as the problem requires.
+    result = scheduler.run(max_steps=max_steps, allow_idle_steps=True)
+    fairness = professor_fairness_counts(result.trace, hypergraph)
+    return ImpossibilityOutcome(
+        algorithm=name,
+        steps=result.steps,
+        fairness=fairness,
+        meetings_convened=len(convened_meetings(result.trace, hypergraph)),
+    )

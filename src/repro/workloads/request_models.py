@@ -1,0 +1,315 @@
+"""Professor behaviour models (the ``RequestIn`` / ``RequestOut`` inputs).
+
+The committee coordination algorithms are driven by two input predicates per
+professor (Section 4.1):
+
+* ``RequestIn(p)`` -- the professor autonomously decides to wait for a
+  meeting (only meaningful in ``CC1``; ``CC2``/``CC3`` assume professors are
+  always requesting);
+* ``RequestOut(p)`` -- the professor wants to voluntarily stop discussing.
+  The paper requires that once a professor is involved in a meeting (or a
+  meeting it was in has terminated), ``RequestOut(p)`` eventually holds and
+  then remains true until the professor leaves.
+
+The environments here realize these predicates operationally:
+
+* :class:`AlwaysRequestingEnvironment` -- always request in; request out
+  after a configurable number of steps spent in the ``done`` status
+  (``maxDisc`` in the paper's waiting-time analysis is the round-count analog
+  of this knob).
+* :class:`ProbabilisticRequestEnvironment` -- Bernoulli requests in, finite
+  meetings; models sporadically interested professors.
+* :class:`BurstyRequestEnvironment` -- alternating active/quiet phases.
+* :class:`InfiniteMeetingEnvironment` -- nobody ever leaves (``RequestOut``
+  identically false): the formal artefact used by Definition 2 (Maximal
+  Concurrency) and Definition 5 (Degree of Fair Concurrency).
+* :class:`SelectiveInfiniteMeetingEnvironment` -- a chosen subset ``P1``
+  stays in meetings forever while everyone else behaves normally; used by the
+  Maximal Concurrency checker.
+* :class:`ScriptedEnvironment` -- fully scripted predicates; used to replay
+  the paper's figures and the Theorem 1 adversarial execution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, Mapping, Optional, Set
+
+from repro.core.states import DONE, STATUS
+from repro.kernel.algorithm import Environment
+from repro.kernel.configuration import Configuration, ProcessId
+
+
+class _DoneCounterMixin:
+    """Tracks, per professor, how many observed steps it has spent in ``done``.
+
+    ``RequestOut`` built on this counter satisfies the paper's requirement:
+    it becomes true after the professor has had time for its voluntary
+    discussion and stays true until the professor actually leaves (leaving is
+    the only way its status stops being ``done``).
+    """
+
+    def __init__(self) -> None:
+        self._done_steps: Dict[ProcessId, int] = {}
+        self._essential_discussions: Dict[ProcessId, int] = {}
+
+    def reset(self) -> None:
+        self._done_steps.clear()
+        self._essential_discussions.clear()
+
+    def observe(self, configuration: Configuration, step_index: int) -> None:
+        for pid in configuration:
+            if configuration.get(pid, STATUS) == DONE:
+                self._done_steps[pid] = self._done_steps.get(pid, 0) + 1
+            else:
+                self._done_steps[pid] = 0
+
+    def on_essential_discussion(self, pid: ProcessId) -> None:
+        self._essential_discussions[pid] = self._essential_discussions.get(pid, 0) + 1
+
+    def done_steps(self, pid: ProcessId) -> int:
+        return self._done_steps.get(pid, 0)
+
+    def essential_discussions(self, pid: ProcessId) -> int:
+        return self._essential_discussions.get(pid, 0)
+
+
+class AlwaysRequestingEnvironment(_DoneCounterMixin, Environment):
+    """Professors always want to meet; they leave after ``discussion_steps`` in ``done``.
+
+    ``discussion_steps`` may be an integer (same voluntary discussion length
+    for everyone) or a mapping / callable per professor, which lets the
+    waiting-time benchmark vary ``maxDisc``.
+    """
+
+    def __init__(
+        self,
+        discussion_steps: int | Mapping[ProcessId, int] | Callable[[ProcessId], int] = 1,
+    ) -> None:
+        _DoneCounterMixin.__init__(self)
+        self._discussion_steps = discussion_steps
+
+    def _limit(self, pid: ProcessId) -> int:
+        if callable(self._discussion_steps):
+            return int(self._discussion_steps(pid))
+        if isinstance(self._discussion_steps, Mapping):
+            return int(self._discussion_steps.get(pid, 1))
+        return int(self._discussion_steps)
+
+    def request_in(self, pid: ProcessId, configuration: Configuration) -> bool:
+        return True
+
+    def request_out(self, pid: ProcessId, configuration: Configuration) -> bool:
+        return self.done_steps(pid) >= self._limit(pid)
+
+
+class ProbabilisticRequestEnvironment(_DoneCounterMixin, Environment):
+    """Bernoulli ``RequestIn``; finite meetings.
+
+    Each time an idle professor is polled, it requests a meeting with
+    probability ``request_probability``.  The draw is memoised per (pid,
+    "idle spell") so that the predicate does not flap within a spell, which
+    keeps executions realistic while remaining weakly fair at the problem
+    level (each professor has infinitely many chances to request).
+    """
+
+    def __init__(
+        self,
+        request_probability: float = 0.7,
+        discussion_steps: int = 1,
+        seed: Optional[int] = None,
+    ) -> None:
+        _DoneCounterMixin.__init__(self)
+        if not 0.0 < request_probability <= 1.0:
+            raise ValueError("request_probability must be in (0, 1]")
+        self._p = request_probability
+        self._discussion_steps = discussion_steps
+        self._rng = random.Random(seed)
+        self._pending: Dict[ProcessId, bool] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._pending.clear()
+
+    def observe(self, configuration: Configuration, step_index: int) -> None:
+        super().observe(configuration, step_index)
+        # A professor that left the idle state gets a fresh draw next spell.
+        for pid in configuration:
+            if configuration.get(pid, STATUS) != "idle":
+                self._pending.pop(pid, None)
+
+    def request_in(self, pid: ProcessId, configuration: Configuration) -> bool:
+        if pid not in self._pending:
+            self._pending[pid] = self._rng.random() < self._p
+        return self._pending[pid]
+
+    def request_out(self, pid: ProcessId, configuration: Configuration) -> bool:
+        return self.done_steps(pid) >= self._discussion_steps
+
+
+class BurstyRequestEnvironment(_DoneCounterMixin, Environment):
+    """Professors alternate between active and quiet phases.
+
+    During an active phase ``RequestIn`` is true, during a quiet phase it is
+    false.  Phase lengths are fixed per environment; professors are staggered
+    by their id so the bursts overlap only partially -- a simple model of the
+    bursty interaction patterns of component-based systems (BIP, Section 1).
+    """
+
+    def __init__(
+        self,
+        active_steps: int = 20,
+        quiet_steps: int = 10,
+        discussion_steps: int = 1,
+    ) -> None:
+        _DoneCounterMixin.__init__(self)
+        if active_steps < 1 or quiet_steps < 0:
+            raise ValueError("invalid phase lengths")
+        self._active = active_steps
+        self._quiet = quiet_steps
+        self._discussion_steps = discussion_steps
+        self._step = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._step = 0
+
+    def observe(self, configuration: Configuration, step_index: int) -> None:
+        super().observe(configuration, step_index)
+        self._step = step_index + 1
+
+    def request_in(self, pid: ProcessId, configuration: Configuration) -> bool:
+        period = self._active + self._quiet
+        phase = (self._step + pid * 3) % period
+        return phase < self._active
+
+    def request_out(self, pid: ProcessId, configuration: Configuration) -> bool:
+        return self.done_steps(pid) >= self._discussion_steps
+
+
+class InfiniteMeetingEnvironment(_DoneCounterMixin, Environment):
+    """Meetings never end (the Definitions 2 / 5 artefact).
+
+    Following the paper's formalization exactly (Section 4.2): for every
+    professor ``p``,
+
+    * if ``p`` is involved in a meeting, the meeting never ends, so
+      ``RequestOut(p)`` never holds;
+    * if ``p`` satisfies ``S_p = done`` but ``¬Meeting(p)`` -- e.g. a stale
+      ``done`` status inherited from an arbitrary initial configuration --
+      then ``RequestOut(p)`` eventually holds, letting ``p`` re-enter the
+      game.
+
+    Distinguishing the two cases requires knowing the hypergraph; pass it at
+    construction (the concurrency measurements do).  Without a hypergraph the
+    environment degenerates to ``RequestOut ≡ false``.
+    """
+
+    def __init__(self, hypergraph: "object" = None) -> None:
+        _DoneCounterMixin.__init__(self)
+        self._hypergraph = hypergraph
+
+    def _participates_in_meeting(self, pid: ProcessId, configuration: Configuration) -> bool:
+        if self._hypergraph is None:
+            return True  # conservatively treat done as "in a meeting"
+        from repro.core.states import DONE as _DONE, POINTER as _P, WAITING as _W
+
+        for edge in self._hypergraph.incident_edges(pid):
+            if all(
+                configuration.get(q, _P) == edge and configuration.get(q, STATUS) in (_W, _DONE)
+                for q in edge
+            ):
+                return True
+        return False
+
+    def request_in(self, pid: ProcessId, configuration: Configuration) -> bool:
+        return True
+
+    def request_out(self, pid: ProcessId, configuration: Configuration) -> bool:
+        if configuration.get(pid, STATUS) != DONE:
+            return False
+        # A professor in a real meeting never wants to leave; a professor with
+        # a stale done status (no meeting behind it) eventually does.
+        return not self._participates_in_meeting(pid, configuration)
+
+
+class SelectiveInfiniteMeetingEnvironment(AlwaysRequestingEnvironment):
+    """A chosen set of professors never leaves; the rest behave normally.
+
+    Realizes the ``P1`` / ``P2`` split of Definition 2 (Maximal Concurrency):
+    the professors in ``frozen`` stay in their meetings forever, everybody
+    else requests and leaves as in :class:`AlwaysRequestingEnvironment`.
+    """
+
+    def __init__(
+        self,
+        frozen: Iterable[ProcessId],
+        discussion_steps: int | Mapping[ProcessId, int] | Callable[[ProcessId], int] = 1,
+        hypergraph: "object" = None,
+    ) -> None:
+        super().__init__(discussion_steps)
+        self._frozen: Set[ProcessId] = set(frozen)
+        self._hypergraph = hypergraph
+
+    def _frozen_in_meeting(self, pid: ProcessId, configuration: Configuration) -> bool:
+        if self._hypergraph is None:
+            return True
+        from repro.core.states import DONE as _DONE, POINTER as _P, WAITING as _W
+
+        for edge in self._hypergraph.incident_edges(pid):
+            if all(
+                configuration.get(q, _P) == edge and configuration.get(q, STATUS) in (_W, _DONE)
+                for q in edge
+            ):
+                return True
+        return False
+
+    def request_out(self, pid: ProcessId, configuration: Configuration) -> bool:
+        if pid in self._frozen:
+            # A frozen professor never leaves a *real* meeting; a stale done
+            # status (arbitrary initial configuration) is abandoned as usual.
+            if configuration.get(pid, STATUS) != DONE:
+                return False
+            return not self._frozen_in_meeting(pid, configuration)
+        return super().request_out(pid, configuration)
+
+
+class ScriptedEnvironment(_DoneCounterMixin, Environment):
+    """Fully scripted request predicates.
+
+    ``request_in_script`` / ``request_out_script`` map a professor id to a
+    predicate over ``(configuration, step_count)``.  Unscripted professors
+    fall back to always-requesting with a one-step voluntary discussion.
+    Used to replay the executions of Figures 3 and 4 and the adversarial
+    schedule of the Theorem 1 benchmark.
+    """
+
+    def __init__(
+        self,
+        request_in_script: Optional[Mapping[ProcessId, Callable[[Configuration, int], bool]]] = None,
+        request_out_script: Optional[Mapping[ProcessId, Callable[[Configuration, int], bool]]] = None,
+        default_discussion_steps: int = 1,
+    ) -> None:
+        _DoneCounterMixin.__init__(self)
+        self._in_script = dict(request_in_script or {})
+        self._out_script = dict(request_out_script or {})
+        self._default_discussion = default_discussion_steps
+        self._step = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._step = 0
+
+    def observe(self, configuration: Configuration, step_index: int) -> None:
+        super().observe(configuration, step_index)
+        self._step = step_index + 1
+
+    def request_in(self, pid: ProcessId, configuration: Configuration) -> bool:
+        if pid in self._in_script:
+            return bool(self._in_script[pid](configuration, self._step))
+        return True
+
+    def request_out(self, pid: ProcessId, configuration: Configuration) -> bool:
+        if pid in self._out_script:
+            return bool(self._out_script[pid](configuration, self._step))
+        return self.done_steps(pid) >= self._default_discussion

@@ -1,0 +1,141 @@
+"""Benchmark scenarios: named (topology, workload) pairs.
+
+The benchmark harness iterates over these scenarios so that every experiment
+reports the same rows for the same inputs.  ``paper_scenarios`` covers the
+exact topologies of the paper's figures; ``scaling_scenarios`` provides the
+parametric families used for the Theorem 5/6/8 sweeps and for the
+concurrency comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.hypergraph.generators import (
+    complete_hypergraph,
+    cycle_of_committees,
+    disjoint_committees,
+    figure1_hypergraph,
+    figure2_hypergraph,
+    figure3_hypergraph,
+    figure4_hypergraph,
+    grid_of_committees,
+    path_of_committees,
+    random_k_uniform_hypergraph,
+    star_hypergraph,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named topology (plus default workload knobs) used by the benchmarks."""
+
+    name: str
+    hypergraph: Hypergraph
+    description: str = ""
+    discussion_steps: int = 1
+
+    @property
+    def n(self) -> int:
+        return self.hypergraph.n
+
+    @property
+    def m(self) -> int:
+        return self.hypergraph.m
+
+
+def paper_scenarios() -> List[Scenario]:
+    """The four topologies drawn in the paper."""
+    return [
+        Scenario(
+            name="figure1",
+            hypergraph=figure1_hypergraph(),
+            description="Figure 1: 6 professors, 5 committees (running example)",
+        ),
+        Scenario(
+            name="figure2-impossibility",
+            hypergraph=figure2_hypergraph(),
+            description="Figure 2: 5 professors, the Theorem 1 impossibility witness",
+        ),
+        Scenario(
+            name="figure3-cc1-example",
+            hypergraph=figure3_hypergraph(),
+            description="Figure 3: 10 professors, the CC1 worked example",
+        ),
+        Scenario(
+            name="figure4-cc2-locks",
+            hypergraph=figure4_hypergraph(),
+            description="Figure 4: 9 professors, the CC2 lock example",
+        ),
+    ]
+
+
+def scaling_scenarios(
+    sizes: Tuple[int, ...] = (4, 6, 8),
+    seed: int = 7,
+) -> List[Scenario]:
+    """Parametric families used by the scaling and comparison benchmarks."""
+    scenarios: List[Scenario] = []
+    for k in sizes:
+        scenarios.append(
+            Scenario(
+                name=f"path-{k}",
+                hypergraph=path_of_committees(k),
+                description=f"path of {k} two-member committees",
+            )
+        )
+    for k in sizes:
+        if k >= 3:
+            scenarios.append(
+                Scenario(
+                    name=f"cycle-{k}",
+                    hypergraph=cycle_of_committees(k),
+                    description=f"cycle of {k} two-member committees",
+                )
+            )
+    scenarios.append(
+        Scenario(
+            name="star-5",
+            hypergraph=star_hypergraph(5, 2),
+            description="star: 5 committees sharing one professor (max 1 meeting at a time)",
+        )
+    )
+    scenarios.append(
+        Scenario(
+            name="disjoint-4",
+            hypergraph=disjoint_committees(4, 3),
+            description="4 disjoint 3-member committees (no conflicts)",
+        )
+    )
+    scenarios.append(
+        Scenario(
+            name="grid-3x3",
+            hypergraph=grid_of_committees(3, 3),
+            description="3x3 grid, committees are dominoes",
+        )
+    )
+    scenarios.append(
+        Scenario(
+            name="complete-5-pairs",
+            hypergraph=complete_hypergraph(5, 2),
+            description="all pairs over 5 professors",
+        )
+    )
+    scenarios.append(
+        Scenario(
+            name="random-10-8",
+            hypergraph=random_k_uniform_hypergraph(10, 8, committee_size=3, seed=seed),
+            description="random 3-uniform hypergraph, 10 professors, 8 committees",
+        )
+    )
+    return scenarios
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up a scenario by name among the paper and scaling scenarios."""
+    for scenario in paper_scenarios() + scaling_scenarios():
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown scenario {name!r}")

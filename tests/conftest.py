@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cc1 import CC1Algorithm
+from repro.core.cc2 import CC2Algorithm
+from repro.core.cc3 import CC3Algorithm
+from repro.core.composition import TokenBinding
+from repro.hypergraph.generators import (
+    figure1_hypergraph,
+    figure2_hypergraph,
+    figure3_hypergraph,
+    figure4_hypergraph,
+    path_of_committees,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.tokenring.oracle import OracleTokenModule
+from repro.tokenring.tree_circulation import TreeTokenCirculation
+
+
+@pytest.fixture
+def fig1() -> Hypergraph:
+    return figure1_hypergraph()
+
+
+@pytest.fixture
+def fig2() -> Hypergraph:
+    return figure2_hypergraph()
+
+
+@pytest.fixture
+def fig3() -> Hypergraph:
+    return figure3_hypergraph()
+
+
+@pytest.fixture
+def fig4() -> Hypergraph:
+    return figure4_hypergraph()
+
+
+@pytest.fixture
+def triangle() -> Hypergraph:
+    """Three 2-committees sharing professors pairwise: {1,2},{2,3},{1,3}."""
+    return Hypergraph([1, 2, 3], [[1, 2], [2, 3], [1, 3]])
+
+
+@pytest.fixture
+def two_disjoint() -> Hypergraph:
+    """Two disjoint committees: both can always meet simultaneously."""
+    return Hypergraph([1, 2, 3, 4], [[1, 2], [3, 4]])
+
+
+def make_cc1(hypergraph: Hypergraph, token: str = "oracle") -> CC1Algorithm:
+    return CC1Algorithm(hypergraph, _binding(hypergraph, token))
+
+
+def make_cc2(hypergraph: Hypergraph, token: str = "oracle") -> CC2Algorithm:
+    return CC2Algorithm(hypergraph, _binding(hypergraph, token))
+
+
+def make_cc3(hypergraph: Hypergraph, token: str = "oracle") -> CC3Algorithm:
+    return CC3Algorithm(hypergraph, _binding(hypergraph, token))
+
+
+def _binding(hypergraph: Hypergraph, token: str) -> TokenBinding:
+    if token == "tree":
+        return TokenBinding(TreeTokenCirculation(hypergraph))
+    return TokenBinding(OracleTokenModule(hypergraph.vertices))
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

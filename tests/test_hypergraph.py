@@ -1,0 +1,174 @@
+"""Unit tests for the hypergraph model (Section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.generators import figure1_communication_edges, figure1_hypergraph
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
+
+
+class TestHyperedge:
+    def test_members_are_sorted_and_deduplicated(self):
+        edge = Hyperedge([3, 1, 2, 1])
+        assert edge.members == (1, 2, 3)
+
+    def test_size(self):
+        assert Hyperedge([4, 7]).size == 2
+
+    def test_contains(self):
+        edge = Hyperedge([1, 2, 3])
+        assert 2 in edge
+        assert 9 not in edge
+
+    def test_iteration_order(self):
+        assert list(Hyperedge([5, 2, 9])) == [2, 5, 9]
+
+    def test_equality_and_hash(self):
+        assert Hyperedge([1, 2]) == Hyperedge([2, 1])
+        assert hash(Hyperedge([1, 2])) == hash(Hyperedge([2, 1]))
+
+    def test_ordering_is_deterministic(self):
+        assert sorted([Hyperedge([2, 3]), Hyperedge([1, 5])])[0] == Hyperedge([1, 5])
+
+    def test_intersects(self):
+        assert Hyperedge([1, 2]).intersects(Hyperedge([2, 3]))
+        assert not Hyperedge([1, 2]).intersects(Hyperedge([3, 4]))
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperedge([])
+
+    def test_as_set(self):
+        assert Hyperedge([1, 2]).as_set() == frozenset({1, 2})
+
+
+class TestHypergraphBasics:
+    def test_vertices_sorted(self):
+        h = Hypergraph([3, 1, 2], [[1, 2]])
+        assert h.vertices == (1, 2, 3)
+
+    def test_n_and_m(self):
+        h = figure1_hypergraph()
+        assert h.n == 6
+        assert h.m == 5
+
+    def test_duplicate_edges_collapsed(self):
+        h = Hypergraph([1, 2, 3], [[1, 2], [2, 1], [2, 3]])
+        assert h.m == 2
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph([1, 2], [[1, 3]])
+
+    def test_empty_vertex_set_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph([], [])
+
+    def test_contains_vertex_and_edge(self):
+        h = Hypergraph([1, 2, 3], [[1, 2]])
+        assert 1 in h
+        assert Hyperedge([1, 2]) in h
+        assert Hyperedge([2, 3]) not in h
+
+    def test_equality_and_hash(self):
+        a = Hypergraph([1, 2], [[1, 2]])
+        b = Hypergraph([2, 1], [[2, 1]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_to_from_dict_roundtrip(self):
+        h = figure1_hypergraph()
+        assert Hypergraph.from_dict(h.to_dict()) == h
+
+
+class TestIncidenceAndNeighbours:
+    def test_incident_edges_of_figure1(self):
+        h = figure1_hypergraph()
+        incident = {tuple(e.members) for e in h.incident_edges(2)}
+        assert incident == {(1, 2), (1, 2, 3, 4), (2, 4, 5)}
+
+    def test_neighbors_of_figure1_vertex4(self):
+        h = figure1_hypergraph()
+        assert h.neighbors(4) == (1, 2, 3, 5, 6)
+
+    def test_degree(self):
+        h = figure1_hypergraph()
+        assert h.degree(6) == 2
+        assert h.degree(5) == 1
+
+    def test_min_incident_size(self):
+        h = figure1_hypergraph()
+        assert h.min_incident_size(1) == 2   # {1,2}
+        assert h.min_incident_size(5) == 3   # only {2,4,5}
+
+    def test_min_incident_edges(self):
+        h = figure1_hypergraph()
+        assert {tuple(e.members) for e in h.min_incident_edges(4)} == {(4, 6)}
+
+    def test_min_incident_size_of_isolated_vertex_raises(self):
+        h = Hypergraph([1, 2, 3], [[1, 2]])
+        with pytest.raises(ValueError):
+            h.min_incident_size(3)
+
+    def test_conflicting(self):
+        h = figure1_hypergraph()
+        a = Hyperedge([1, 2])
+        b = Hyperedge([2, 4, 5])
+        c = Hyperedge([3, 6])
+        assert h.conflicting(a, b)
+        assert not h.conflicting(a, c)
+
+
+class TestCommunicationNetwork:
+    def test_figure1_underlying_network_matches_paper(self):
+        """The paper lists the exact edge set of G_H in Figure 1(b)."""
+        h = figure1_hypergraph()
+        assert h.communication_edges() == tuple(sorted(figure1_communication_edges()))
+
+    def test_adjacency_is_symmetric(self):
+        h = figure1_hypergraph()
+        adjacency = h.communication_adjacency()
+        for v, neighbours in adjacency.items():
+            for u in neighbours:
+                assert v in adjacency[u]
+
+    def test_connectedness_of_paper_topologies(self):
+        assert figure1_hypergraph().is_connected()
+
+    def test_disconnected_hypergraph(self):
+        h = Hypergraph([1, 2, 3, 4], [[1, 2], [3, 4]])
+        assert not h.is_connected()
+        assert h.connected_components() == [(1, 2), (3, 4)]
+
+    def test_single_vertex_is_connected(self):
+        assert Hypergraph([1], [[1]]).is_connected()
+
+
+class TestDerivedStructure:
+    def test_induced_subhypergraph_drops_touched_edges(self):
+        h = figure1_hypergraph()
+        sub = h.induced_subhypergraph([2])
+        assert 2 not in sub.vertices
+        # Every committee containing professor 2 is gone.
+        assert {tuple(e.members) for e in sub.hyperedges} == {(3, 6), (4, 6)}
+
+    def test_induced_subhypergraph_empty_rejected(self):
+        h = Hypergraph([1, 2], [[1, 2]])
+        with pytest.raises(ValueError):
+            h.induced_subhypergraph([1, 2])
+
+    def test_bfs_spanning_tree_covers_component(self):
+        h = figure1_hypergraph()
+        parent = h.bfs_spanning_tree(6)
+        assert set(parent) == set(h.vertices)
+        assert parent[6] == 6
+        # Every non-root's parent is a communication neighbour.
+        for child, par in parent.items():
+            if child != par:
+                assert par in h.neighbors(child)
+
+    def test_bfs_spanning_tree_unknown_root(self):
+        h = figure1_hypergraph()
+        with pytest.raises(ValueError):
+            h.bfs_spanning_tree(99)

@@ -1,0 +1,83 @@
+"""Tests for configurations (snapshots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.configuration import Configuration
+
+
+@pytest.fixture
+def cfg() -> Configuration:
+    return Configuration({1: {"x": 0, "s": "idle"}, 2: {"x": 5, "s": "looking"}})
+
+
+class TestReads:
+    def test_processes(self, cfg):
+        assert cfg.processes() == (1, 2)
+
+    def test_get(self, cfg):
+        assert cfg.get(1, "x") == 0
+        assert cfg.get(2, "s") == "looking"
+
+    def test_get_default(self, cfg):
+        assert cfg.get(1, "missing", default="d") == "d"
+
+    def test_getitem(self, cfg):
+        assert cfg[(2, "x")] == 5
+
+    def test_contains_and_len(self, cfg):
+        assert 1 in cfg and 3 not in cfg
+        assert len(cfg) == 2
+
+    def test_state_of_returns_copy(self, cfg):
+        state = cfg.state_of(1)
+        state["x"] = 99
+        assert cfg.get(1, "x") == 0
+
+    def test_iteration_sorted(self, cfg):
+        assert list(cfg) == [1, 2]
+
+
+class TestImmutability:
+    def test_constructor_copies_source(self):
+        source = {1: {"x": 0}}
+        cfg = Configuration(source)
+        source[1]["x"] = 42
+        assert cfg.get(1, "x") == 0
+
+    def test_updated_does_not_mutate_original(self, cfg):
+        updated = cfg.updated({1: {"x": 7}})
+        assert cfg.get(1, "x") == 0
+        assert updated.get(1, "x") == 7
+
+    def test_updated_preserves_untouched_variables(self, cfg):
+        updated = cfg.updated({1: {"x": 7}})
+        assert updated.get(1, "s") == "idle"
+        assert updated.get(2, "x") == 5
+
+    def test_to_dict_is_detached(self, cfg):
+        data = cfg.to_dict()
+        data[1]["x"] = 77
+        assert cfg.get(1, "x") == 0
+
+
+class TestEqualityAndHash:
+    def test_equal_configurations(self):
+        a = Configuration({1: {"x": 1}})
+        b = Configuration({1: {"x": 1}})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_configurations(self):
+        assert Configuration({1: {"x": 1}}) != Configuration({1: {"x": 2}})
+
+    def test_not_equal_to_other_types(self):
+        assert Configuration({1: {"x": 1}}) != {"x": 1}
+
+
+class TestRestrict:
+    def test_restrict_projects_variables(self, cfg):
+        projected = cfg.restrict(("s",))
+        assert projected.get(1, "s") == "idle"
+        assert projected.get(1, "x") is None

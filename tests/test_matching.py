@@ -1,0 +1,218 @@
+"""Tests for matchings and the Section 5.3 / 5.4 quantities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraph.generators import figure1_hypergraph, figure2_hypergraph, path_of_committees
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
+from repro.hypergraph.matching import (
+    MatchingAnalysis,
+    all_maximal_matchings,
+    almost_matchings,
+    amm,
+    is_matching,
+    is_maximal_matching,
+    max_hyperedge_size,
+    max_maximal_matching_size,
+    max_min_incident_size,
+    min_maximal_matching_size,
+    min_mm_union_amm,
+    proper_subsets_containing,
+)
+
+
+class TestMatchingPredicates:
+    def test_empty_is_matching(self, fig1):
+        assert is_matching(fig1, [])
+
+    def test_single_edge_is_matching(self, fig1):
+        assert is_matching(fig1, [Hyperedge([1, 2])])
+
+    def test_conflicting_edges_not_matching(self, fig1):
+        assert not is_matching(fig1, [Hyperedge([1, 2]), Hyperedge([2, 4, 5])])
+
+    def test_disjoint_edges_are_matching(self, fig1):
+        assert is_matching(fig1, [Hyperedge([1, 2]), Hyperedge([3, 6])])
+
+    def test_foreign_edge_not_matching(self, fig1):
+        assert not is_matching(fig1, [Hyperedge([5, 6])])
+
+    def test_maximality_detects_extensible_matching(self, fig1):
+        # {1,2} alone can still be extended by {3,6} or {4,6}.
+        assert not is_maximal_matching(fig1, [Hyperedge([1, 2])])
+
+    def test_maximal_matching_accepted(self, fig1):
+        assert is_maximal_matching(fig1, [Hyperedge([1, 2]), Hyperedge([3, 6])])
+
+    def test_big_edge_is_maximal_alone(self, fig1):
+        # {1,2,3,4} conflicts with every other committee.
+        assert is_maximal_matching(fig1, [Hyperedge([1, 2, 3, 4])])
+
+
+class TestEnumeration:
+    def test_all_maximal_matchings_figure1(self, fig1):
+        matchings = all_maximal_matchings(fig1)
+        as_sets = {frozenset(tuple(e.members) for e in m) for m in matchings}
+        assert frozenset({(1, 2, 3, 4)}) in as_sets
+        assert frozenset({(1, 2), (3, 6)}) in as_sets
+        assert frozenset({(1, 2), (4, 6)}) in as_sets
+        # Every enumerated matching is indeed maximal.
+        for matching in matchings:
+            assert is_maximal_matching(fig1, matching)
+
+    def test_min_and_max_sizes_figure1(self, fig1):
+        assert min_maximal_matching_size(fig1) == 1
+        assert max_maximal_matching_size(fig1) == 2
+
+    def test_figure2_sizes(self, fig2):
+        # Maximal matchings of {{1,2},{1,3,5},{3,4}}: {{1,2},{3,4}} and {{1,3,5}}.
+        assert min_maximal_matching_size(fig2) == 1
+        assert max_maximal_matching_size(fig2) == 2
+
+    def test_path_of_committees_min_mm(self):
+        # A path of 3 two-member committees: the middle committee alone is a
+        # maximal matching of size 1.
+        h = path_of_committees(3)
+        assert min_maximal_matching_size(h) == 1
+        assert max_maximal_matching_size(h) == 2
+
+    def test_disjoint_committees(self):
+        h = Hypergraph([1, 2, 3, 4], [[1, 2], [3, 4]])
+        matchings = all_maximal_matchings(h)
+        assert len(matchings) == 1
+        assert len(matchings[0]) == 2
+
+
+class TestScalarQuantities:
+    def test_max_min_incident_size_figure1(self, fig1):
+        # Professor 5 only belongs to {2,4,5} (size 3), so MaxMin = 3.
+        assert max_min_incident_size(fig1) == 3
+
+    def test_max_hyperedge_size_figure1(self, fig1):
+        assert max_hyperedge_size(fig1) == 4
+
+    def test_max_min_figure2(self, fig2):
+        # Professor 5 only belongs to {1,3,5}: MaxMin = 3.
+        assert max_min_incident_size(fig2) == 3
+
+    def test_isolated_vertices_ignored(self):
+        h = Hypergraph([1, 2, 3], [[1, 2]])
+        assert max_min_incident_size(h) == 2
+
+
+class TestAlmostAndAMM:
+    def test_proper_subsets_containing(self):
+        edge = Hyperedge([1, 3, 5])
+        subsets = proper_subsets_containing(edge, 5)
+        assert frozenset({5}) in subsets
+        assert frozenset({1, 5}) in subsets
+        assert frozenset({3, 5}) in subsets
+        assert frozenset({1, 3, 5}) not in subsets
+        assert all(5 in s for s in subsets)
+
+    def test_proper_subsets_requires_membership(self):
+        assert proper_subsets_containing(Hyperedge([1, 2]), 7) == []
+
+    def test_almost_matchings_figure2(self, fig2):
+        # Block professor 5 (the token holder stuck on {1,3,5}); the induced
+        # subhypergraph keeps {1,2} and {3,4}, both of which must be covered.
+        result = almost_matchings(fig2, Hyperedge([1, 3, 5]), [5])
+        as_sets = {frozenset(tuple(e.members) for e in m) for m in result}
+        assert frozenset({(1, 2), (3, 4)}) in as_sets
+
+    def test_amm_members_are_matchings(self, fig1):
+        for matching in amm(fig1):
+            used = set()
+            for edge in matching:
+                assert not (set(edge.members) & used)
+                used |= set(edge.members)
+
+    def test_min_mm_union_amm_is_positive(self, fig1, fig2):
+        assert min_mm_union_amm(fig1) >= 1
+        assert min_mm_union_amm(fig2) >= 1
+
+    def test_amm_prime_superset_relation(self, fig1):
+        """AMM ⊆ AMM' (min-edges restriction only removes options)."""
+        plain = {frozenset(e.members for e in m) for m in amm(fig1, min_edges_only=True)}
+        prime = {frozenset(e.members for e in m) for m in amm(fig1, min_edges_only=False)}
+        assert plain <= prime
+
+
+class TestMatchingAnalysis:
+    def test_analysis_figure1(self, fig1):
+        analysis = MatchingAnalysis.of(fig1)
+        assert analysis.min_mm == 1
+        assert analysis.max_mm == 2
+        assert analysis.max_min == 3
+        assert analysis.max_hedge == 4
+        assert analysis.theorem5_bound == 1 - 3 + 1
+        assert analysis.theorem8_bound == 1 - 4 + 1
+
+    def test_theorem5_inequality(self, fig1, fig2):
+        for h in (fig1, fig2):
+            analysis = MatchingAnalysis.of(h)
+            assert analysis.min_mm_union_amm >= analysis.theorem5_bound
+
+    def test_theorem8_inequality(self, fig1, fig2):
+        for h in (fig1, fig2):
+            analysis = MatchingAnalysis.of(h)
+            assert analysis.min_mm_union_amm_prime >= analysis.theorem8_bound
+
+    def test_as_row_keys(self, fig1):
+        row = MatchingAnalysis.of(fig1).as_row()
+        assert row["minMM"] == 1
+        assert "Thm5 bound" in row
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests on random small hypergraphs
+# --------------------------------------------------------------------------- #
+@st.composite
+def small_hypergraphs(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    vertices = list(range(1, n + 1))
+    num_edges = draw(st.integers(min_value=1, max_value=5))
+    edges = []
+    for _ in range(num_edges):
+        size = draw(st.integers(min_value=2, max_value=min(3, n)))
+        edge = draw(st.permutations(vertices).map(lambda p: tuple(sorted(p[:size]))))
+        edges.append(list(edge))
+    return Hypergraph(vertices, edges)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_hypergraphs())
+def test_property_every_maximal_matching_is_a_matching(h):
+    for matching in all_maximal_matchings(h):
+        assert is_matching(h, matching)
+        assert is_maximal_matching(h, matching)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_hypergraphs())
+def test_property_min_le_max_maximal_matching(h):
+    assert min_maximal_matching_size(h) <= max_maximal_matching_size(h)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_hypergraphs())
+def test_property_theorem5_bound_holds(h):
+    analysis = MatchingAnalysis.of(h)
+    assert analysis.min_mm_union_amm >= analysis.theorem5_bound
+    assert analysis.min_mm_union_amm >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_hypergraphs())
+def test_property_theorem8_bound_holds(h):
+    analysis = MatchingAnalysis.of(h)
+    assert analysis.min_mm_union_amm_prime >= analysis.theorem8_bound
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_hypergraphs())
+def test_property_amm_elements_are_matchings_of_h(h):
+    for matching in amm(h):
+        assert is_matching(h, matching)

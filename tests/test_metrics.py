@@ -1,0 +1,136 @@
+"""Tests for the metrics package (collector, fair concurrency, waiting time, throughput)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.generators import figure1_hypergraph, path_of_committees
+from repro.kernel.daemon import default_daemon
+from repro.kernel.scheduler import Scheduler
+from repro.metrics.collector import collect_metrics
+from repro.metrics.concurrency import degree_of_fair_concurrency
+from repro.metrics.throughput import measure_throughput
+from repro.metrics.waiting_time import measure_waiting_time, waiting_spells
+from repro.spec.fairness import professor_fairness_counts
+from repro.workloads.request_models import AlwaysRequestingEnvironment
+
+from tests.conftest import make_cc1, make_cc2
+
+
+@pytest.fixture(scope="module")
+def cc2_run():
+    hypergraph = figure1_hypergraph()
+    algo = make_cc2(hypergraph)
+    scheduler = Scheduler(
+        algo,
+        environment=AlwaysRequestingEnvironment(discussion_steps=1),
+        daemon=default_daemon(seed=3),
+    )
+    return hypergraph, algo, scheduler.run(max_steps=900)
+
+
+class TestCollector:
+    def test_metrics_shape(self, cc2_run):
+        hypergraph, _, result = cc2_run
+        metrics = collect_metrics(result.trace, hypergraph)
+        assert metrics.steps == result.steps
+        assert metrics.meetings_convened > 0
+        assert 0 < metrics.mean_concurrency <= metrics.peak_concurrency
+        assert 0.0 <= metrics.jain_fairness_index <= 1.0
+
+    def test_as_row_round_trips(self, cc2_run):
+        hypergraph, _, result = cc2_run
+        row = collect_metrics(result.trace, hypergraph).as_row()
+        assert set(row) == {
+            "steps", "rounds", "meetings", "peak_conc", "mean_conc",
+            "min_part", "max_part", "jain",
+        }
+
+    def test_action_counts_included(self, cc2_run):
+        hypergraph, _, result = cc2_run
+        metrics = collect_metrics(result.trace, hypergraph)
+        assert sum(metrics.action_counts.values()) > 0
+
+
+class TestFairnessSummary:
+    def test_jain_index_bounds(self, cc2_run):
+        hypergraph, _, result = cc2_run
+        summary = professor_fairness_counts(result.trace, hypergraph)
+        assert 0.0 < summary.professor_jain_index() <= 1.0
+
+    def test_jain_index_of_empty_trace_is_zero(self, cc2_run):
+        hypergraph, algo, _ = cc2_run
+        from repro.kernel.trace import Trace
+
+        empty = Trace(algo.initial_configuration())
+        summary = professor_fairness_counts(empty, hypergraph)
+        assert summary.professor_jain_index() == 0.0
+        assert summary.min_professor_participations == 0
+
+
+class TestDegreeOfFairConcurrency:
+    def test_samples_and_bounds_reported(self):
+        hypergraph = path_of_committees(3)
+        algo = make_cc2(hypergraph)
+        result = degree_of_fair_concurrency(algo, trials=2, max_steps=1500, seed=1)
+        assert len(result.samples) == 4  # 2 clean + 2 arbitrary starts
+        assert result.observed_min <= result.observed_max
+        assert result.respects_theorem4
+
+    def test_row_keys(self):
+        hypergraph = path_of_committees(3)
+        algo = make_cc2(hypergraph)
+        result = degree_of_fair_concurrency(
+            algo, trials=1, max_steps=800, seed=1, include_arbitrary_starts=False
+        )
+        assert set(result.as_row()) == {
+            "observed_min", "observed_max", "thm4_bound", "thm5_bound", "thm7_bound", "thm8_bound",
+        }
+
+
+class TestWaitingTime:
+    def test_waiting_time_positive_and_bounded(self):
+        hypergraph = figure1_hypergraph()
+        algo = make_cc2(hypergraph)
+        result = measure_waiting_time(algo, max_disc=2, max_steps=1500, seed=2)
+        assert result.max_wait_steps > 0
+        assert result.mean_wait_steps <= result.max_wait_steps
+        assert result.n == hypergraph.n
+        assert result.max_disc == 2
+        assert result.theorem6_reference == 2 * hypergraph.n
+
+    def test_waiting_spells_cover_all_professors(self):
+        hypergraph = figure1_hypergraph()
+        algo = make_cc2(hypergraph)
+        scheduler = Scheduler(
+            algo,
+            environment=AlwaysRequestingEnvironment(discussion_steps=1),
+            daemon=default_daemon(seed=5),
+        )
+        result = scheduler.run(max_steps=800)
+        spells = waiting_spells(result.trace, hypergraph)
+        assert set(spells) == set(hypergraph.vertices)
+        assert all(length >= 0 for lengths in spells.values() for length in lengths)
+
+    def test_as_row(self):
+        hypergraph = path_of_committees(2)
+        algo = make_cc2(hypergraph)
+        row = measure_waiting_time(algo, max_disc=1, max_steps=600, seed=1).as_row()
+        assert "max_wait_rounds" in row and "maxDisc*n" in row
+
+
+class TestThroughput:
+    def test_throughput_of_cc1_and_cc2(self):
+        hypergraph = figure1_hypergraph()
+        for make in (make_cc1, make_cc2):
+            algo = make(hypergraph)
+            result = measure_throughput(algo, max_steps=800, seed=1)
+            assert result.meetings_convened > 0
+            assert result.meetings_per_round > 0
+            assert result.peak_concurrency >= 1
+
+    def test_row_keys(self):
+        hypergraph = path_of_committees(2)
+        algo = make_cc1(hypergraph)
+        row = measure_throughput(algo, max_steps=500, seed=1).as_row()
+        assert "meetings/round" in row and "jain" in row

@@ -1,0 +1,125 @@
+"""Property-based integration tests: safety invariants on random topologies.
+
+Hypothesis generates small random hypergraphs (and seeds); whatever the
+topology, the daemon schedule and the starting configuration (legitimate or
+arbitrary), every convened meeting must satisfy Exclusion, Synchronization
+and the 2-Phase Discussion -- this is the executable core of the
+snap-stabilization theorems, exercised well beyond the paper's worked
+examples.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cc1 import CC1Algorithm
+from repro.core.cc2 import CC2Algorithm
+from repro.core.cc3 import CC3Algorithm
+from repro.core.composition import TokenBinding
+from repro.hypergraph.generators import random_k_uniform_hypergraph
+from repro.kernel.daemon import SynchronousDaemon, default_daemon
+from repro.kernel.scheduler import Scheduler
+from repro.spec.discussion import check_essential_discussion, check_voluntary_discussion
+from repro.spec.events import convened_meetings
+from repro.spec.properties import check_exclusion, check_synchronization
+from repro.tokenring.oracle import OracleTokenModule
+from repro.workloads.request_models import AlwaysRequestingEnvironment
+
+
+def build(algorithm_cls, hypergraph):
+    return algorithm_cls(hypergraph, TokenBinding(OracleTokenModule(hypergraph.vertices)))
+
+
+def run_and_check(algorithm, seed, steps=300, arbitrary=True, synchronous=False):
+    initial = None
+    if arbitrary:
+        initial = algorithm.arbitrary_configuration(random.Random(seed))
+    daemon = SynchronousDaemon() if synchronous else default_daemon(seed=seed)
+    scheduler = Scheduler(
+        algorithm,
+        environment=AlwaysRequestingEnvironment(discussion_steps=1),
+        daemon=daemon,
+        initial_configuration=initial,
+    )
+    result = scheduler.run(max_steps=steps)
+    trace = result.trace
+    hypergraph = algorithm.hypergraph
+    assert check_exclusion(trace, hypergraph).holds
+    assert check_synchronization(trace, hypergraph).holds
+    assert check_essential_discussion(trace, hypergraph).holds
+    assert check_voluntary_discussion(trace, hypergraph).holds
+    return trace
+
+
+hypergraph_params = st.tuples(
+    st.integers(min_value=4, max_value=7),    # professors
+    st.integers(min_value=2, max_value=5),    # committees
+    st.integers(min_value=0, max_value=10_000),  # topology seed
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=hypergraph_params, seed=st.integers(min_value=0, max_value=100))
+def test_property_cc1_safety_from_arbitrary_configurations(params, seed):
+    n, m, topo_seed = params
+    m = min(m, n * (n - 1) // 2)
+    m = max(m, (n + 1) // 2)
+    hypergraph = random_k_uniform_hypergraph(n, m, 2, seed=topo_seed)
+    algorithm = build(CC1Algorithm, hypergraph)
+    run_and_check(algorithm, seed)
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=hypergraph_params, seed=st.integers(min_value=0, max_value=100))
+def test_property_cc2_safety_from_arbitrary_configurations(params, seed):
+    n, m, topo_seed = params
+    m = min(m, n * (n - 1) // 2)
+    m = max(m, (n + 1) // 2)
+    hypergraph = random_k_uniform_hypergraph(n, m, 2, seed=topo_seed)
+    algorithm = build(CC2Algorithm, hypergraph)
+    run_and_check(algorithm, seed)
+
+
+@settings(max_examples=8, deadline=None)
+@given(params=hypergraph_params, seed=st.integers(min_value=0, max_value=100))
+def test_property_cc3_safety_under_synchronous_daemon(params, seed):
+    n, m, topo_seed = params
+    m = min(m, n * (n - 1) // 2)
+    m = max(m, (n + 1) // 2)
+    hypergraph = random_k_uniform_hypergraph(n, m, 2, seed=topo_seed)
+    algorithm = build(CC3Algorithm, hypergraph)
+    run_and_check(algorithm, seed, synchronous=True)
+
+
+@settings(max_examples=8, deadline=None)
+@given(params=hypergraph_params, seed=st.integers(min_value=0, max_value=100))
+def test_property_cc2_meetings_convene_on_clean_start(params, seed):
+    """Liveness smoke-property: on a clean start with everyone requesting,
+    some meeting convenes within a few hundred steps on any topology."""
+    n, m, topo_seed = params
+    m = min(m, n * (n - 1) // 2)
+    m = max(m, (n + 1) // 2)
+    hypergraph = random_k_uniform_hypergraph(n, m, 2, seed=topo_seed)
+    algorithm = build(CC2Algorithm, hypergraph)
+    trace = run_and_check(algorithm, seed, steps=400, arbitrary=False)
+    assert len(convened_meetings(trace, hypergraph)) > 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(params=hypergraph_params, seed=st.integers(min_value=0, max_value=100))
+def test_property_single_pointer_implies_no_conflicting_meetings(params, seed):
+    """Structural invariant behind Lemma 1: a process has one pointer, so two
+    conflicting committees can never meet in the same configuration."""
+    n, m, topo_seed = params
+    m = min(m, n * (n - 1) // 2)
+    m = max(m, (n + 1) // 2)
+    hypergraph = random_k_uniform_hypergraph(n, m, 2, seed=topo_seed)
+    algorithm = build(CC1Algorithm, hypergraph)
+    trace = run_and_check(algorithm, seed, steps=250)
+    for configuration in trace.configurations:
+        held = algorithm.meetings_in(configuration)
+        for i, a in enumerate(held):
+            for b in held[i + 1:]:
+                assert not a.intersects(b)

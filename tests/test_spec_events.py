@@ -1,0 +1,127 @@
+"""Tests for the trace-level vocabulary (meetings, convene/terminate events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.states import DONE, IDLE, LOOKING, POINTER, STATUS, WAITING
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
+from repro.kernel.configuration import Configuration
+from repro.kernel.trace import StepRecord, Trace
+from repro.spec.events import (
+    committee_meets,
+    concurrency_profile,
+    convened_meetings,
+    idle_processes,
+    meeting_events,
+    meetings_in,
+    participations,
+    terminated_meetings,
+    waiting_processes,
+)
+
+
+H = Hypergraph([1, 2, 3, 4], [[1, 2], [3, 4], [2, 3]])
+E12 = Hyperedge([1, 2])
+E34 = Hyperedge([3, 4])
+
+
+def cfg(**statuses) -> Configuration:
+    """Build a configuration from ``{pid: (status, pointer)}`` keyword args p1=..., p2=..."""
+    states = {}
+    for key, (status, pointer) in statuses.items():
+        pid = int(key[1:])
+        states[pid] = {STATUS: status, POINTER: pointer}
+    for pid in H.vertices:
+        states.setdefault(pid, {STATUS: IDLE, POINTER: None})
+    return Configuration(states)
+
+
+def trace_of(*configurations) -> Trace:
+    trace = Trace(configurations[0])
+    for index, configuration in enumerate(configurations[1:]):
+        trace.append(
+            configuration,
+            StepRecord(
+                index=index,
+                selected=frozenset(),
+                executed={},
+                enabled_before=frozenset(),
+                neutralized=frozenset(),
+                round_index=index,
+            ),
+        )
+    return trace
+
+
+class TestCommitteeMeets:
+    def test_all_members_waiting_pointing(self):
+        c = cfg(p1=(WAITING, E12), p2=(WAITING, E12))
+        assert committee_meets(c, E12)
+
+    def test_mixed_waiting_done(self):
+        c = cfg(p1=(WAITING, E12), p2=(DONE, E12))
+        assert committee_meets(c, E12)
+
+    def test_member_looking_blocks_meeting(self):
+        c = cfg(p1=(LOOKING, E12), p2=(DONE, E12))
+        assert not committee_meets(c, E12)
+
+    def test_member_pointing_elsewhere_blocks_meeting(self):
+        c = cfg(p1=(WAITING, E12), p2=(WAITING, Hyperedge([2, 3])))
+        assert not committee_meets(c, E12)
+
+    def test_meetings_in(self):
+        c = cfg(p1=(WAITING, E12), p2=(WAITING, E12), p3=(DONE, E34), p4=(DONE, E34))
+        assert set(meetings_in(c, H)) == {E12, E34}
+
+
+class TestProcessStates:
+    def test_waiting_processes(self):
+        c = cfg(p1=(LOOKING, None), p2=(WAITING, E12), p3=(DONE, E34))
+        assert set(waiting_processes(c)) == {1, 2}
+
+    def test_idle_processes(self):
+        c = cfg(p1=(LOOKING, None))
+        assert set(idle_processes(c)) == {2, 3, 4}
+
+
+class TestEvents:
+    def test_convene_then_terminate(self):
+        quiet = cfg(p1=(LOOKING, None), p2=(LOOKING, None))
+        meet = cfg(p1=(WAITING, E12), p2=(WAITING, E12))
+        over = cfg(p1=(IDLE, None), p2=(DONE, E12))
+        trace = trace_of(quiet, meet, over)
+        events = meeting_events(trace, H)
+        assert [(e.kind, e.committee, e.configuration_index) for e in events] == [
+            ("convene", E12, 1),
+            ("terminate", E12, 2),
+        ]
+
+    def test_convened_and_terminated_filters(self):
+        quiet = cfg()
+        meet = cfg(p3=(WAITING, E34), p4=(WAITING, E34))
+        trace = trace_of(quiet, meet)
+        assert len(convened_meetings(trace, H)) == 1
+        assert len(terminated_meetings(trace, H)) == 0
+
+    def test_meeting_present_initially_is_not_a_convene_event(self):
+        """A meeting inherited from the arbitrary initial configuration never
+        convened -- snap-stabilization makes no promise about it."""
+        meet = cfg(p1=(DONE, E12), p2=(DONE, E12))
+        still = cfg(p1=(DONE, E12), p2=(DONE, E12))
+        trace = trace_of(meet, still)
+        assert convened_meetings(trace, H) == []
+
+    def test_participations(self):
+        quiet = cfg()
+        meet = cfg(p1=(WAITING, E12), p2=(WAITING, E12))
+        trace = trace_of(quiet, meet)
+        counts = participations(trace, H)
+        assert counts[1] == 1 and counts[2] == 1 and counts[3] == 0
+
+    def test_concurrency_profile(self):
+        quiet = cfg()
+        both = cfg(p1=(WAITING, E12), p2=(WAITING, E12), p3=(WAITING, E34), p4=(WAITING, E34))
+        trace = trace_of(quiet, both)
+        assert concurrency_profile(trace, H) == [0, 2]
