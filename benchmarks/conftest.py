@@ -9,9 +9,18 @@ regenerating the experiment (one full simulation per iteration).
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
 
 from repro.analysis.report import format_table
+
+#: Machine-readable perf rows land here (one JSON object per line).  The file
+#: accumulates across benchmark runs, so successive commits build the repo's
+#: perf trajectory; each row is stamped with a wall-clock timestamp.
+PERF_LOG = os.path.join(os.path.dirname(__file__), "perf_rows.jsonl")
 
 
 def emit(title: str, rows) -> None:
@@ -20,6 +29,26 @@ def emit(title: str, rows) -> None:
     print(format_table(list(rows), title=title))
 
 
+def emit_json_row(row: dict, path: str = PERF_LOG) -> dict:
+    """Append one perf measurement as a JSON line and echo it to stdout.
+
+    Returns the stamped row.  Used by ``bench_engine_scaling.py`` (and any
+    future perf benchmark) so the repo keeps a greppable steps/sec baseline.
+    """
+    stamped = {"timestamp": round(time.time(), 3)}
+    stamped.update(row)
+    line = json.dumps(stamped, sort_keys=True)
+    print(f"PERF_ROW {line}")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+    return stamped
+
+
 @pytest.fixture
 def report():
     return emit
+
+
+@pytest.fixture
+def perf_row():
+    return emit_json_row

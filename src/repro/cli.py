@@ -48,7 +48,11 @@ def _cmd_scenarios(_: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = scenario_by_name(args.scenario)
     coordinator = CommitteeCoordinator(
-        scenario.hypergraph, algorithm=args.algorithm, token=args.token, seed=args.seed
+        scenario.hypergraph,
+        algorithm=args.algorithm,
+        token=args.token,
+        seed=args.seed,
+        engine=args.engine,
     )
     outcome = coordinator.run(
         max_steps=args.steps,
@@ -109,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scenario", default="figure1")
     run.add_argument("--algorithm", default="cc2", choices=["cc1", "cc2", "cc3"])
     run.add_argument("--token", default="tree", choices=["tree", "ring", "oracle"])
+    run.add_argument(
+        "--engine",
+        default="dense",
+        choices=["dense", "incremental"],
+        help="execution engine: reference double-sweep (dense) or copy-on-write + enabled-set reuse (incremental)",
+    )
     run.add_argument("--steps", type=int, default=2000)
     run.add_argument("--discussion", type=int, default=1)
     run.add_argument("--seed", type=int, default=1)

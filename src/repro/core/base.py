@@ -42,12 +42,46 @@ class CommitteeAlgorithmBase(DistributedAlgorithm):
     # ------------------------------------------------------------------ #
     # DistributedAlgorithm plumbing
     # ------------------------------------------------------------------ #
+    #: Statuses in which a guard consults a request predicate: ``Step1`` reads
+    #: ``RequestIn`` (only relevant while ``idle``) and ``Step4`` reads
+    #: ``RequestOut`` (only relevant while ``done``).  Processes in these
+    #: statuses are the only ones whose enabledness can change between two
+    #: steps without any process writing, so they are what the incremental
+    #: engine refreshes; ``CC2``/``CC3`` narrow this to ``(done,)``.
+    environment_sensitive_statuses: Tuple[str, ...] = (IDLE, DONE)
+
     def process_ids(self) -> Tuple[ProcessId, ...]:
         return self._pids
 
     def incident(self, pid: ProcessId) -> Tuple[Hyperedge, ...]:
         """``E_p``."""
         return self.hypergraph.incident_edges(pid)
+
+    # ------------------------------------------------------------------ #
+    # dirty-set protocol (incremental scheduler engine)
+    # ------------------------------------------------------------------ #
+    def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
+        """Guards of ``pid`` read its ``G_H`` neighbourhood plus its token link.
+
+        Every CC-layer predicate (``Ready``, ``Meeting``, ``FreeEdges``,
+        ``TPointingEdges``, ...) scans members of committees incident to
+        ``pid`` — all of which lie in ``N(pid) ∪ {pid}`` — and the composed
+        ``Token(p)`` predicate additionally reads the token module's
+        variables of the module-declared link processes (the virtual-ring
+        predecessor for the Dijkstra substrates).
+        """
+        deps = {pid}
+        deps.update(self.hypergraph.neighbors(pid))
+        deps.update(self.token.read_dependencies(pid))
+        return tuple(sorted(deps))
+
+    def environment_sensitive_processes(
+        self, configuration: Configuration
+    ) -> Tuple[ProcessId, ...]:
+        sensitive = self.environment_sensitive_statuses
+        return tuple(
+            pid for pid in self._pids if configuration.get(pid, STATUS) in sensitive
+        )
 
     @abc.abstractmethod
     def own_initial_state(self, pid: ProcessId) -> Dict[str, Any]:

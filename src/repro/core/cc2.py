@@ -38,6 +38,12 @@ class CC2Algorithm(CommitteeAlgorithmBase):
 
     statuses: Tuple[str, ...] = (LOOKING, WAITING, DONE)
 
+    #: ``CC2`` has no ``idle`` status and never reads ``RequestIn``; only
+    #: ``Step4`` (guarded on ``done``) consults the environment, so only
+    #: ``done`` processes need re-evaluation between steps in the
+    #: incremental engine.
+    environment_sensitive_statuses: Tuple[str, ...] = (DONE,)
+
     def __init__(self, hypergraph: Hypergraph, token: TokenBinding) -> None:
         super().__init__(hypergraph, token)
 

@@ -32,7 +32,13 @@ CURSOR = "R"
 
 
 class CC3Algorithm(CC2Algorithm):
-    """``CC2`` with round-robin committee selection by the token holder."""
+    """``CC2`` with round-robin committee selection by the token holder.
+
+    The cursor ``R_p`` is a process-local variable read only by ``p``'s own
+    guards, so ``CC2``'s dirty-set declarations (``G_H`` neighbourhood plus
+    token link, ``done`` processes environment-sensitive) carry over
+    unchanged to the incremental scheduler engine.
+    """
 
     def __init__(self, hypergraph: Hypergraph, token: TokenBinding) -> None:
         super().__init__(hypergraph, token)

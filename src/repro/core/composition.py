@@ -99,6 +99,13 @@ class TokenBinding:
         ctx.mark_token_released()
 
     # ------------------------------------------------------------------ #
+    # dirty-set protocol (incremental scheduler engine)
+    # ------------------------------------------------------------------ #
+    def read_dependencies(self, pid: ProcessId) -> Sequence[ProcessId]:
+        """Processes whose (prefixed) variables ``Token(pid)`` may read."""
+        return self.module.read_dependencies(pid)
+
+    # ------------------------------------------------------------------ #
     # maintenance actions (fair composition)
     # ------------------------------------------------------------------ #
     def maintenance_actions(self, pid: ProcessId) -> List[Action]:

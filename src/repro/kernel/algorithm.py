@@ -39,6 +39,14 @@ class Environment:
     counters) can advance.
     """
 
+    #: ``True`` iff evaluating the request predicates is free of side effects
+    #: (no RNG draws, no state mutation), so that evaluating a guard more or
+    #: fewer times cannot change the run.  The incremental scheduler engine
+    #: skips guard evaluations and therefore refuses environments that set
+    #: this to ``False`` (e.g. ``ProbabilisticRequestEnvironment``, which
+    #: memoises random draws during ``request_in``).
+    deterministic_guards: bool = True
+
     def request_in(self, pid: ProcessId, configuration: Configuration) -> bool:
         """The ``RequestIn(p)`` predicate: does professor ``pid`` want to meet?"""
         return False
@@ -210,3 +218,38 @@ class DistributedAlgorithm(abc.ABC):
         """Names of the variables of the first process (assumed uniform)."""
         first = self.process_ids()[0]
         return tuple(sorted(self.initial_state(first)))
+
+    # ------------------------------------------------------------------ #
+    # dirty-set protocol (incremental scheduler engine)
+    # ------------------------------------------------------------------ #
+    def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
+        """Processes whose *variables* the guards of ``pid`` may read.
+
+        The incremental scheduler engine re-evaluates the guards of ``pid``
+        after a step only if some process in this set moved.  The default is
+        maximally conservative (every process), which makes the incremental
+        engine correct for any algorithm at the cost of re-evaluating
+        everything; algorithms with local guards (the committee coordination
+        layer reads its ``G_H`` neighbourhood plus its token link, the ring
+        modules read their ring predecessor) override this to unlock the
+        speed-up.  ``pid`` itself is always treated as a dependency by the
+        scheduler, whether or not it appears here.
+        """
+        return self.process_ids()
+
+    def environment_sensitive_processes(
+        self, configuration: Configuration
+    ) -> Tuple[ProcessId, ...]:
+        """Processes whose enabledness may change with the *environment* alone.
+
+        Between two steps the configuration is frozen but the environment
+        advances (``observe`` runs after every step), so guards that read
+        ``RequestIn`` / ``RequestOut`` can flip without any process writing.
+        The incremental engine re-evaluates exactly these processes when it
+        reuses the previous step's post-step enabled map.  The default is
+        conservative (every process — the reuse then degenerates to a full
+        sweep); algorithms whose guards never consult the environment return
+        ``()``, and the committee coordination layer returns the processes
+        whose status makes a request predicate relevant (``idle``/``done``).
+        """
+        return self.process_ids()

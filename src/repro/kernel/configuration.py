@@ -22,14 +22,31 @@ class Configuration:
     snapshot.  Variable *values* are expected to be immutable (statuses,
     integers, booleans, :class:`~repro.hypergraph.hypergraph.Hyperedge`,
     ``None``), which every algorithm in this library respects.
+
+    Derivation through :meth:`updated` is copy-on-write: the per-process
+    dictionaries of processes that did not move are *shared* between the
+    parent and the derived configuration (never mutated afterwards — nothing
+    in this class writes into ``_states`` after construction, and every
+    accessor that hands state out returns a copy), so the cost of a step is
+    proportional to the number of written variables, not to ``n``.
     """
 
     __slots__ = ("_states",)
 
-    def __init__(self, states: Mapping[ProcessId, ProcessState]) -> None:
-        self._states: Dict[ProcessId, Dict[str, Any]] = {
-            pid: dict(variables) for pid, variables in states.items()
-        }
+    def __init__(
+        self,
+        states: Mapping[ProcessId, ProcessState],
+        *,
+        _shared: bool = False,
+    ) -> None:
+        # ``_shared`` is an internal fast path used by :meth:`updated`: the
+        # caller guarantees that ``states`` is a fresh top-level dict whose
+        # per-process dicts are private to Configuration instances, so the
+        # defensive re-copy can be skipped.
+        if _shared:
+            self._states: Dict[ProcessId, Dict[str, Any]] = states  # type: ignore[assignment]
+        else:
+            self._states = {pid: dict(variables) for pid, variables in states.items()}
 
     # ------------------------------------------------------------------ #
     # read access
@@ -81,13 +98,20 @@ class Configuration:
 
         ``writes`` maps each moving process to the variables it wrote; all
         other variables (and all other processes) are carried over untouched.
+        Copy-on-write: only the per-process dicts of writing processes are
+        copied — everyone else's state dict is shared with ``self``.
         """
-        merged: Dict[ProcessId, Dict[str, Any]] = {
-            pid: dict(vars_) for pid, vars_ in self._states.items()
-        }
+        merged: Dict[ProcessId, Dict[str, Any]] = dict(self._states)
         for pid, new_vars in writes.items():
-            merged.setdefault(pid, {}).update(new_vars)
-        return Configuration(merged)
+            if pid in merged:
+                if not new_vars:
+                    continue  # executed but wrote nothing: keep sharing
+                fresh = dict(merged[pid])
+                fresh.update(new_vars)
+            else:
+                fresh = dict(new_vars)
+            merged[pid] = fresh
+        return Configuration(merged, _shared=True)
 
     def restrict(self, variables: Tuple[str, ...]) -> "Configuration":
         """Project the configuration onto a subset of variable names."""

@@ -42,7 +42,14 @@ class Daemon(abc.ABC):
         """Clear internal bookkeeping (called when a scheduler is rebuilt)."""
 
     def notify_enabled(self, enabled: Sequence[ProcessId], selected: FrozenSet[ProcessId]) -> None:
-        """Hook letting stateful daemons update fairness bookkeeping."""
+        """Hook invoked by the scheduler with the selection actually executed.
+
+        ``selected`` may differ from what :meth:`select` returned: the
+        scheduler intersects the daemon's answer with the enabled set and
+        falls back to the lowest enabled id when the intersection is empty.
+        Stateful daemons should base their fairness bookkeeping on this
+        callback rather than on their own ``select`` answer.
+        """
 
 
 class SynchronousDaemon(Daemon):
@@ -185,10 +192,11 @@ class AdversarialDaemon(Daemon):
         configuration: Configuration,
         step_index: int,
     ) -> FrozenSet[ProcessId]:
+        enabled_set = set(enabled)
         wanted = set(self._strategy(enabled, configuration, step_index))
-        chosen = frozenset(w for w in wanted if w in set(enabled))
+        chosen = frozenset(w for w in wanted if w in enabled_set)
         if not chosen:
-            chosen = frozenset({sorted(enabled)[0]})
+            chosen = frozenset({min(enabled_set)})
         return chosen
 
 
@@ -209,6 +217,7 @@ class WeaklyFairDaemon(Daemon):
         self._base = base
         self._patience = patience
         self._starvation: Dict[ProcessId, int] = {}
+        self._pre_selection: Optional[Dict[ProcessId, int]] = None
 
     @property
     def base(self) -> Daemon:
@@ -217,6 +226,20 @@ class WeaklyFairDaemon(Daemon):
     def reset(self) -> None:
         self._base.reset()
         self._starvation.clear()
+        self._pre_selection = None
+
+    def _bookkeep(self, enabled: Sequence[ProcessId], chosen: FrozenSet[ProcessId]) -> None:
+        # Update starvation counters: processes enabled but not chosen age by
+        # one; chosen or disabled processes reset.
+        enabled_set = set(enabled)
+        for pid in list(self._starvation):
+            if pid not in enabled_set:
+                self._starvation.pop(pid)
+        for pid in enabled_set:
+            if pid in chosen:
+                self._starvation[pid] = 0
+            else:
+                self._starvation[pid] = self._starvation.get(pid, 0) + 1
 
     def select(
         self,
@@ -231,18 +254,20 @@ class WeaklyFairDaemon(Daemon):
             if self._starvation.get(pid, 0) + 1 >= self._patience
         }
         chosen = frozenset(base_choice | forced)
-        # Update starvation counters: processes enabled but not chosen age by
-        # one; chosen or disabled processes reset.
-        enabled_set = set(enabled)
-        for pid in list(self._starvation):
-            if pid not in enabled_set:
-                self._starvation.pop(pid)
-        for pid in enabled_set:
-            if pid in chosen:
-                self._starvation[pid] = 0
-            else:
-                self._starvation[pid] = self._starvation.get(pid, 0) + 1
+        # Bookkeeping is applied provisionally so the daemon stays weakly fair
+        # when driven standalone; a snapshot is kept so that notify_enabled can
+        # redo it against the selection the scheduler actually executed (which
+        # differs when the scheduler's empty-selection fallback kicks in).
+        self._pre_selection = dict(self._starvation)
+        self._bookkeep(enabled, chosen)
         return chosen
+
+    def notify_enabled(self, enabled: Sequence[ProcessId], selected: FrozenSet[ProcessId]) -> None:
+        if self._pre_selection is not None:
+            self._starvation = self._pre_selection
+            self._pre_selection = None
+        self._bookkeep(enabled, selected)
+        self._base.notify_enabled(enabled, selected)
 
 
 def default_daemon(seed: Optional[int] = None, probability: float = 0.5, patience: int = 8) -> Daemon:

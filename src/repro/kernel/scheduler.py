@@ -13,6 +13,28 @@ The scheduler repeatedly
 
 A computation is maximal: the run stops when no process is enabled (terminal
 configuration) or when a step/round/predicate bound is hit.
+
+Two execution engines are available (``engine=`` parameter):
+
+``"dense"`` (default)
+    The reference engine: ``Enabled(γ)`` is recomputed from scratch before
+    and after every step.  Byte-for-byte reproducible against historical
+    seeds, and correct even for environments whose request predicates have
+    evaluation side effects (e.g. memoised random draws).
+``"incremental"``
+    The post-step enabled map of step ``k`` is cached and reused as the
+    pre-step map of step ``k+1``; after a step only the processes whose
+    :meth:`~repro.kernel.algorithm.DistributedAlgorithm.read_dependencies`
+    intersect the step's writers are re-evaluated, and between steps only the
+    :meth:`~repro.kernel.algorithm.DistributedAlgorithm.environment_sensitive_processes`
+    are refreshed (the environment advances in ``observe`` after the map was
+    cached).  Produces traces identical to the dense engine for any fixed
+    seed, provided guard evaluation is side-effect free.  Environments that
+    violate this declare ``deterministic_guards = False``
+    (``ProbabilisticRequestEnvironment`` draws RNG during guard evaluation)
+    and are rejected by the incremental engine at construction time; every
+    other environment in this library, including the default
+    ``AlwaysRequestingEnvironment``, qualifies.
 """
 
 from __future__ import annotations
@@ -24,6 +46,9 @@ from repro.kernel.algorithm import ActionContext, DistributedAlgorithm, Environm
 from repro.kernel.configuration import Configuration, ProcessId
 from repro.kernel.daemon import Daemon, default_daemon
 from repro.kernel.trace import StepRecord, Trace
+
+#: Valid values of the ``engine`` parameter.
+ENGINES = ("dense", "incremental")
 
 
 @dataclass
@@ -61,6 +86,18 @@ class Scheduler:
     record_configurations:
         If ``False``, only the initial and current configurations are kept
         (step metadata is always recorded); use for long throughput runs.
+        Such *sparse* traces cannot answer per-configuration queries
+        (``pairs``, ``variable_series``, ``waiting_spells`` — they raise or
+        degenerate); attach a streaming consumer via ``step_listener`` (e.g.
+        :class:`~repro.metrics.collector.StreamingMetricsCollector`) to
+        compute trace metrics online instead.
+    engine:
+        ``"dense"`` (default) or ``"incremental"``; see the module docstring.
+    step_listener:
+        Optional callable invoked as ``step_listener(configuration, record)``
+        — once at construction with the initial configuration and
+        ``record=None``, then after every step with the new configuration and
+        its :class:`StepRecord`.  Used by the streaming metrics path.
     """
 
     def __init__(
@@ -70,9 +107,26 @@ class Scheduler:
         daemon: Optional[Daemon] = None,
         initial_configuration: Optional[Configuration] = None,
         record_configurations: bool = True,
+        engine: str = "dense",
+        step_listener: Optional[
+            Callable[[Configuration, Optional[StepRecord]], None]
+        ] = None,
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.algorithm = algorithm
         self.environment = environment if environment is not None else Environment()
+        if engine == "incremental" and not getattr(
+            self.environment, "deterministic_guards", True
+        ):
+            raise ValueError(
+                "the incremental engine requires side-effect-free guard "
+                f"evaluation, but {type(self.environment).__name__} declares "
+                "deterministic_guards=False (it draws random request decisions "
+                "while guards are evaluated, so skipping evaluations would "
+                "silently change the run); use engine='dense' with this "
+                "environment"
+            )
         self.daemon = daemon if daemon is not None else default_daemon()
         self.daemon.reset()
         self.environment.reset()
@@ -82,25 +136,103 @@ class Scheduler:
             else algorithm.initial_configuration()
         )
         self.record_configurations = record_configurations
+        self.engine = engine
         self.trace = Trace(self.configuration)
         self.step_index = 0
         # Round bookkeeping: the set of processes enabled at the start of the
         # current round that have not yet been activated or neutralized.
         self.round_index = 0
         self._round_pending: Optional[Set[ProcessId]] = None
+        self._step_listener = step_listener
+        # Incremental engine state: the cached enabled map (valid for the
+        # current configuration, modulo environment drift handled in
+        # ``_current_enabled``) and the inverse dependency map
+        # writer -> processes whose guards read the writer's variables.
+        self._enabled_cache: Optional[Dict[ProcessId, Any]] = None
+        self._dependents: Optional[Dict[ProcessId, FrozenSet[ProcessId]]] = None
+        if engine == "incremental":
+            dependents: Dict[ProcessId, Set[ProcessId]] = {
+                pid: {pid} for pid in algorithm.process_ids()
+            }
+            for pid in algorithm.process_ids():
+                for source in algorithm.read_dependencies(pid):
+                    dependents.setdefault(source, set()).add(pid)
+            self._dependents = {q: frozenset(ps) for q, ps in dependents.items()}
         # Let stateful environments see the initial configuration.
         self.environment.observe(self.configuration, -1)
+        if self._step_listener is not None:
+            self._step_listener(self.configuration, None)
 
     # ------------------------------------------------------------------ #
     # single step
     # ------------------------------------------------------------------ #
     def enabled(self) -> Dict[ProcessId, Any]:
         """``Enabled(γ)`` with each process's priority action."""
-        return self.algorithm.enabled_processes(self.configuration, self.environment)
+        return dict(self._current_enabled())
+
+    def invalidate_enabled_cache(self) -> None:
+        """Drop the incremental engine's cached enabled map.
+
+        Call after mutating ``self.configuration`` (or the environment) from
+        outside the scheduler, e.g. when injecting mid-run faults.
+        """
+        self._enabled_cache = None
+
+    def _current_enabled(self) -> Dict[ProcessId, Any]:
+        """The enabled map for the current configuration (cached if incremental)."""
+        if self.engine == "dense":
+            return self.algorithm.enabled_processes(self.configuration, self.environment)
+        if self._enabled_cache is None:
+            self._enabled_cache = self.algorithm.enabled_processes(
+                self.configuration, self.environment
+            )
+        else:
+            # The cache was computed before the environment observed the last
+            # configuration; refresh the processes whose guards may have
+            # flipped with the environment alone.
+            cache = self._enabled_cache
+            for pid in self.algorithm.environment_sensitive_processes(self.configuration):
+                action = self.algorithm.enabled_action(
+                    pid, self.configuration, self.environment
+                )
+                if action is None:
+                    cache.pop(pid, None)
+                else:
+                    cache[pid] = action
+        return self._enabled_cache
+
+    def _enabled_after_step(
+        self,
+        enabled_map: Dict[ProcessId, Any],
+        writers: Dict[ProcessId, Dict[str, Any]],
+        new_configuration: Configuration,
+    ) -> Dict[ProcessId, Any]:
+        """The enabled map of ``new_configuration`` (γ').
+
+        Dense engine: a full sweep.  Incremental engine: start from the
+        pre-step map and re-evaluate only the processes whose declared read
+        dependencies intersect the step's writers — for everyone else neither
+        the variables their guards read nor the environment changed, so their
+        enabledness is unchanged by construction.
+        """
+        if self.engine == "dense" or self._dependents is None:
+            return self.algorithm.enabled_processes(new_configuration, self.environment)
+        after = dict(enabled_map)
+        dirty: Set[ProcessId] = set()
+        for writer, written in writers.items():
+            if written:  # executed but wrote nothing: γ' is unchanged for its dependents
+                dirty |= self._dependents.get(writer, frozenset((writer,)))
+        for pid in dirty:
+            action = self.algorithm.enabled_action(pid, new_configuration, self.environment)
+            if action is None:
+                after.pop(pid, None)
+            else:
+                after[pid] = action
+        return after
 
     def step(self) -> Optional[StepRecord]:
         """Execute one step; returns ``None`` if the configuration is terminal."""
-        enabled_map = self.enabled()
+        enabled_map = self._current_enabled()
         if not enabled_map:
             return None
         enabled_ids = tuple(sorted(enabled_map))
@@ -116,6 +248,10 @@ class Scheduler:
             # A daemon must select at least one enabled process; fall back to
             # the smallest id to preserve the distributed property.
             selected = frozenset({enabled_ids[0]})
+        # Report the selection that is actually executed (it may differ from
+        # the daemon's answer when the fallback above kicked in), so stateful
+        # daemons keep their fairness bookkeeping truthful.
+        self.daemon.notify_enabled(enabled_ids, selected)
 
         writes: Dict[ProcessId, Dict[str, Any]] = {}
         executed: Dict[ProcessId, str] = {}
@@ -129,9 +265,8 @@ class Scheduler:
         new_configuration = self.configuration.updated(writes)
 
         # Neutralization: enabled before, not selected, not enabled after.
-        enabled_after = set(
-            self.algorithm.enabled_processes(new_configuration, self.environment)
-        )
+        enabled_after_map = self._enabled_after_step(enabled_map, writes, new_configuration)
+        enabled_after = set(enabled_after_map)
         neutralized = frozenset(
             pid
             for pid in enabled_ids
@@ -159,12 +294,19 @@ class Scheduler:
             self._round_pending = None
 
         self.configuration = new_configuration
+        if self.engine == "incremental":
+            # γ''s enabled map becomes the next step's pre-step map; the
+            # environment drift from the ``observe`` below is folded in by
+            # ``_current_enabled`` at the start of the next step.
+            self._enabled_cache = enabled_after_map
         if self.record_configurations:
             self.trace.append(new_configuration, record)
         else:
             self.trace.append_sparse(new_configuration, record)
         self.step_index += 1
         self.environment.observe(new_configuration, record.index)
+        if self._step_listener is not None:
+            self._step_listener(new_configuration, record)
         return record
 
     # ------------------------------------------------------------------ #
@@ -180,8 +322,10 @@ class Scheduler:
         """Run until termination, a bound, or ``stop_predicate`` becomes true.
 
         ``stop_predicate(configuration, step_index)`` is evaluated after every
-        step; when it returns ``True`` the run stops with reason
-        ``"predicate"``.
+        step — including idle ticks, so a predicate that becomes true while
+        the system is quiescent (e.g. an external timer expiring) stops the
+        run promptly instead of spinning to ``max_steps``; when it returns
+        ``True`` the run stops with reason ``"predicate"``.
 
         With ``allow_idle_steps=True`` a configuration with no enabled process
         does *not* end the run: an "idle tick" is consumed instead (the
@@ -207,7 +351,6 @@ class Scheduler:
                 # Idle tick: no process can move, but external time passes.
                 self.environment.observe(self.configuration, self.step_index)
                 self.step_index += 1
-                continue
             if stop_predicate is not None and stop_predicate(self.configuration, self.step_index):
                 stop_reason = "predicate"
                 break

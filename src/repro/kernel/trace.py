@@ -48,9 +48,17 @@ class Trace:
 
     Recording every configuration keeps spec checking simple and exact; for
     the problem sizes of the paper's figures and of our benchmarks this is
-    cheap.  ``record_configurations=False`` in the scheduler produces a trace
-    that only keeps the first and last configurations plus step metadata,
-    which the throughput benchmarks use.
+    cheap.  ``record_configurations=False`` in the scheduler produces a
+    *sparse* trace that only keeps the first and last configurations plus
+    step metadata, which the throughput benchmarks use.
+
+    The sparse contract: step metadata (``steps``, ``rounds``,
+    ``action_counts``, ``executions_of``) is always exact, but
+    per-configuration queries are not available — ``configurations`` holds
+    only the initial configuration, ``pairs``/``variable_series`` degenerate,
+    and consumers that need the full configuration sequence (e.g.
+    ``waiting_spells``) must check :attr:`is_sparse` and either raise or use
+    a streaming collector attached to the scheduler while the run happens.
     """
 
     def __init__(self, initial: Configuration) -> None:
@@ -84,7 +92,13 @@ class Trace:
         return self._configurations[-1]
 
     @property
+    def is_sparse(self) -> bool:
+        """``True`` iff intermediate configurations were dropped while recording."""
+        return self._sparse_final is not None
+
+    @property
     def configurations(self) -> Sequence[Configuration]:
+        """All recorded configurations (only the initial one when sparse)."""
         return tuple(self._configurations)
 
     @property

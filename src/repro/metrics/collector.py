@@ -5,17 +5,28 @@ benchmark harness and ``EXPERIMENTS.md`` report: meetings convened, average
 and peak concurrency, per-professor participation statistics and the action
 histogram (useful for inspecting how much work the stabilization actions do
 after a fault).
+
+:class:`StreamingMetricsCollector` computes the same numbers *online* from
+the stream of configurations a scheduler produces, so sparse runs
+(``record_configurations=False``) report full metrics without ever retaining
+the dense trace.  Attach it to the scheduler via ``step_listener``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph, ProcessId
-from repro.kernel.trace import Trace
-from repro.spec.events import concurrency_profile, convened_meetings, participations
-from repro.spec.fairness import professor_fairness_counts
+from repro.kernel.configuration import Configuration
+from repro.kernel.trace import StepRecord, Trace
+from repro.spec.events import (
+    MeetingEventStream,
+    concurrency_profile,
+    convened_meetings,
+    participations,
+)
+from repro.spec.fairness import FairnessSummary, professor_fairness_counts
 
 
 @dataclass(frozen=True)
@@ -43,6 +54,79 @@ class TraceMetrics:
             "max_part": self.max_professor_participations,
             "jain": round(self.jain_fairness_index, 3),
         }
+
+
+class StreamingMetricsCollector:
+    """Online :class:`TraceMetrics` for sparse runs.
+
+    Usage::
+
+        collector = StreamingMetricsCollector(hypergraph)
+        scheduler = Scheduler(algorithm, ..., record_configurations=False,
+                              step_listener=collector.observe_step)
+        result = scheduler.run(...)
+        metrics = collector.metrics(result.trace)   # == dense collect_metrics
+
+    The collector consumes each configuration exactly once, keeps O(n + m)
+    state, and produces numbers identical to running :func:`collect_metrics`
+    over the equivalent densely recorded trace.
+    """
+
+    def __init__(self, hypergraph: Hypergraph) -> None:
+        self._hypergraph = hypergraph
+        self._stream = MeetingEventStream(hypergraph)
+        self._per_professor: Dict[ProcessId, int] = {p: 0 for p in hypergraph.vertices}
+        self._per_committee: Dict[Tuple[ProcessId, ...], int] = {
+            e.members: 0 for e in hypergraph.hyperedges
+        }
+        self._meetings_convened = 0
+        self._profile_sum = 0
+        self._profile_count = 0
+        self._peak_concurrency = 0
+
+    def observe_step(
+        self, configuration: Configuration, record: Optional[StepRecord] = None
+    ) -> None:
+        """Scheduler ``step_listener`` hook (``record`` is unused)."""
+        for event in self._stream.observe(configuration):
+            if event.kind == "convene":
+                self._meetings_convened += 1
+                self._per_committee[event.committee.members] += 1
+                for member in event.committee:
+                    self._per_professor[member] += 1
+        held = self._stream.current_meetings
+        self._profile_sum += held
+        self._profile_count += 1
+        if held > self._peak_concurrency:
+            self._peak_concurrency = held
+
+    def fairness(self) -> FairnessSummary:
+        """Participation statistics seen so far (mirrors ``professor_fairness_counts``)."""
+        return FairnessSummary(
+            per_professor=dict(self._per_professor),
+            per_committee=dict(self._per_committee),
+        )
+
+    def metrics(self, trace: Trace) -> TraceMetrics:
+        """The :class:`TraceMetrics` of the observed run.
+
+        ``trace`` supplies the step metadata (always recorded, even sparse):
+        step/round counts and the action histogram.
+        """
+        fairness = self.fairness()
+        return TraceMetrics(
+            steps=trace.length,
+            rounds=trace.rounds,
+            meetings_convened=self._meetings_convened,
+            peak_concurrency=self._peak_concurrency,
+            mean_concurrency=(
+                self._profile_sum / self._profile_count if self._profile_count else 0.0
+            ),
+            min_professor_participations=fairness.min_professor_participations,
+            max_professor_participations=fairness.max_professor_participations,
+            jain_fairness_index=fairness.professor_jain_index(),
+            action_counts=trace.action_counts(),
+        )
 
 
 def collect_metrics(trace: Trace, hypergraph: Hypergraph) -> TraceMetrics:

@@ -65,31 +65,73 @@ def _participating(configuration, hypergraph: Hypergraph, pid: ProcessId) -> boo
     return False
 
 
+class WaitingSpellTracker:
+    """Online waiting-spell extraction over a stream of configurations.
+
+    Feed configurations in trace order to :meth:`observe`; :meth:`spells`
+    returns, at any point, the same per-professor spell lengths as
+    :func:`waiting_spells` over the configurations observed so far.  This is
+    the streaming counterpart used for sparse runs, where the trace does not
+    retain the configurations.
+    """
+
+    def __init__(self, hypergraph: Hypergraph) -> None:
+        self._hypergraph = hypergraph
+        self._spells: Dict[ProcessId, List[int]] = {p: [] for p in hypergraph.vertices}
+        self._open_since: Dict[ProcessId, Optional[int]] = {
+            p: None for p in hypergraph.vertices
+        }
+        self._index = 0
+
+    def observe(self, configuration, record=None) -> None:
+        """Consume the next configuration (usable as a scheduler ``step_listener``)."""
+        index = self._index
+        for pid in self._hypergraph.vertices:
+            if _participating(configuration, self._hypergraph, pid):
+                if self._open_since[pid] is not None:
+                    self._spells[pid].append(index - self._open_since[pid])
+                    self._open_since[pid] = None
+            elif self._open_since[pid] is None:
+                self._open_since[pid] = index
+        self._index += 1
+
+    def spells(self) -> Dict[ProcessId, List[int]]:
+        """Completed spells plus, for each professor, the spell (if any) still
+        open at the last observed configuration, closed by the stream end."""
+        result = {pid: list(lengths) for pid, lengths in self._spells.items()}
+        last_index = self._index - 1
+        if last_index >= 0:
+            for pid, start in self._open_since.items():
+                if start is not None:
+                    result[pid].append(last_index - start)
+        return result
+
+
 def waiting_spells(trace: Trace, hypergraph: Hypergraph) -> Dict[ProcessId, List[int]]:
     """Lengths (in steps) of every completed waiting spell of every professor.
 
     A waiting spell starts when the professor is not participating in any
     meeting and ends at the first later configuration in which it is.  Spells
     still open at the end of the trace are reported as well (they are what a
-    starved professor accumulates), closed by the trace end.
+    starved professor accumulates), closed by the trace end — including a
+    spell that only opens at the very last configuration (length 0).
+
+    Raises :class:`ValueError` on sparse traces
+    (``record_configurations=False``), whose configuration sequence is not
+    retained: use :class:`WaitingSpellTracker` as a scheduler
+    ``step_listener`` to measure waiting spells on such runs instead.
     """
-    spells: Dict[ProcessId, List[int]] = {p: [] for p in hypergraph.vertices}
-    open_since: Dict[ProcessId, Optional[int]] = {p: None for p in hypergraph.vertices}
-    for index, configuration in enumerate(trace.configurations):
-        for pid in hypergraph.vertices:
-            participating = _participating(configuration, hypergraph, pid)
-            if participating:
-                if open_since[pid] is not None:
-                    spells[pid].append(index - open_since[pid])
-                    open_since[pid] = None
-            else:
-                if open_since[pid] is None:
-                    open_since[pid] = index
-    last_index = len(trace.configurations) - 1
-    for pid, start in open_since.items():
-        if start is not None and start < last_index:
-            spells[pid].append(last_index - start)
-    return spells
+    if trace.is_sparse:
+        raise ValueError(
+            "waiting_spells needs a densely recorded trace, but this trace was "
+            "recorded with record_configurations=False and only retains the "
+            "initial configuration; re-run with record_configurations=True or "
+            "attach a WaitingSpellTracker as the scheduler's step_listener"
+        )
+    tracker = WaitingSpellTracker(hypergraph)
+    for configuration in trace.configurations:
+        tracker.observe(configuration)
+    return tracker.spells()
 
 
 def measure_waiting_time(

@@ -56,21 +56,50 @@ class MeetingEvent:
     configuration_index: int  # index i such that the event happens "in γ_i"
 
 
+class MeetingEventStream:
+    """Online convene/terminate detection over a stream of configurations.
+
+    Feed configurations in trace order to :meth:`observe`; it returns the
+    events that happen "in" the observed configuration (the same events, in
+    the same order, as :func:`meeting_events` over the full trace).  Used by
+    the streaming metrics collector so sparse runs
+    (``record_configurations=False``) never need the dense trace.
+    """
+
+    def __init__(self, hypergraph: Hypergraph) -> None:
+        self._edges = hypergraph.hyperedges
+        self._previous: Dict[Hyperedge, bool] = {}
+        self._index = 0
+        #: Number of committees meeting in the most recently observed
+        #: configuration (the online concurrency profile sample).
+        self.current_meetings = 0
+
+    def observe(self, configuration: Configuration) -> List[MeetingEvent]:
+        events: List[MeetingEvent] = []
+        first = self._index == 0
+        meeting_count = 0
+        for edge in self._edges:
+            now = committee_meets(configuration, edge)
+            if now:
+                meeting_count += 1
+            if not first:
+                before = self._previous[edge]
+                if now and not before:
+                    events.append(MeetingEvent("convene", edge, self._index))
+                elif before and not now:
+                    events.append(MeetingEvent("terminate", edge, self._index))
+            self._previous[edge] = now
+        self.current_meetings = meeting_count
+        self._index += 1
+        return events
+
+
 def meeting_events(trace: Trace, hypergraph: Hypergraph) -> List[MeetingEvent]:
     """All convene/terminate events of a (densely recorded) trace."""
+    stream = MeetingEventStream(hypergraph)
     events: List[MeetingEvent] = []
-    configurations = trace.configurations
-    previous = {e: committee_meets(configurations[0], e) for e in hypergraph.hyperedges}
-    for index in range(1, len(configurations)):
-        current_cfg = configurations[index]
-        for edge in hypergraph.hyperedges:
-            now = committee_meets(current_cfg, edge)
-            before = previous[edge]
-            if now and not before:
-                events.append(MeetingEvent("convene", edge, index))
-            elif before and not now:
-                events.append(MeetingEvent("terminate", edge, index))
-            previous[edge] = now
+    for configuration in trace.configurations:
+        events.extend(stream.observe(configuration))
     return events
 
 

@@ -106,6 +106,16 @@ class ComposedTokenCirculation(DistributedAlgorithm):
         # stabilization is independent of token passing.
         return tuple([token_action] + election_actions)
 
+    # -- dirty-set protocol (incremental scheduler engine) ---------------- #
+    def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
+        """``T`` reads the ring predecessor's counter; ``Elect`` reads ``G_H`` neighbours."""
+        deps = {pid, self._pred[pid]}
+        deps.update(self.hypergraph.neighbors(pid))
+        return tuple(sorted(deps))
+
+    def environment_sensitive_processes(self, configuration) -> Tuple[ProcessId, ...]:
+        return ()  # neither guard consults the environment
+
     # ------------------------------------------------------------------ #
     # diagnostics
     # ------------------------------------------------------------------ #

@@ -140,6 +140,10 @@ class DijkstraRingToken(TokenModule):
             pred_value = read(self._pred[pid], COUNTER)
             ctx.write(COUNTER, 0 if pred_value is None else pred_value)
 
+    def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
+        """``Token(p)`` reads only ``p``'s counter and its ring predecessor's."""
+        return (pid, self._pred[pid])
+
 
 class DijkstraRingAlgorithm(DistributedAlgorithm):
     """Standalone version of the ring with the explicit pass action ``T``.
@@ -173,6 +177,13 @@ class DijkstraRingAlgorithm(DistributedAlgorithm):
             ctx.mark_token_released()
 
         return (Action(label="T", guard=guard, statement=statement),)
+
+    # -- dirty-set protocol (incremental scheduler engine) ---------------- #
+    def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
+        return self.module.read_dependencies(pid)
+
+    def environment_sensitive_processes(self, configuration) -> Tuple[ProcessId, ...]:
+        return ()  # the ``T`` guard never consults the environment
 
     # Convenience used by tests.
     def token_holders_in(self, configuration) -> Tuple[ProcessId, ...]:

@@ -60,6 +60,16 @@ class TokenModule(abc.ABC):
         """Stabilization actions other than ``T`` (default: none)."""
         return ()
 
+    def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
+        """Processes whose module variables ``Token(pid)`` (and the guards of
+        any maintenance actions of ``pid``) may read.
+
+        Consumed by the incremental scheduler engine via the composition.
+        The default is conservative (every process); the ring modules read
+        only the ring predecessor and override accordingly.
+        """
+        return self.process_ids()
+
     # ------------------------------------------------------------------ #
     # diagnostics shared by implementations
     # ------------------------------------------------------------------ #

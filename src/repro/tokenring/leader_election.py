@@ -103,6 +103,14 @@ class SelfStabilizingLeaderElection(DistributedAlgorithm):
 
         return (Action(label="Elect", guard=guard, statement=statement),)
 
+    # -- dirty-set protocol (incremental scheduler engine) ---------------- #
+    def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
+        """The ``Elect`` guard reads the claims of ``pid`` and its ``G_H`` neighbours."""
+        return (pid,) + tuple(self._neighbors[pid])
+
+    def environment_sensitive_processes(self, configuration) -> Tuple[ProcessId, ...]:
+        return ()  # election guards never consult the environment
+
     # ------------------------------------------------------------------ #
     # queries used by tests, the composition, and the benchmarks
     # ------------------------------------------------------------------ #

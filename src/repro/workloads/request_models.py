@@ -111,7 +111,14 @@ class ProbabilisticRequestEnvironment(_DoneCounterMixin, Environment):
     "idle spell") so that the predicate does not flap within a spell, which
     keeps executions realistic while remaining weakly fair at the problem
     level (each professor has infinitely many chances to request).
+
+    Because the draw happens *during guard evaluation*, evaluating a guard
+    more or fewer times changes the RNG stream: this environment is not
+    compatible with the incremental scheduler engine (which skips guard
+    evaluations) and declares so via ``deterministic_guards``.
     """
+
+    deterministic_guards = False
 
     def __init__(
         self,
