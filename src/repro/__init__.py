@@ -54,8 +54,14 @@ from repro.tokenring import (
     TreeTokenCirculation,
 )
 from repro.analysis import bounds_for
+from repro.spec import (
+    CounterexampleWindow,
+    SpecVerdicts,
+    SpecViolationError,
+    StreamingSpecSuite,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Hyperedge",
@@ -82,5 +88,9 @@ __all__ = [
     "SelfStabilizingLeaderElection",
     "TreeTokenCirculation",
     "bounds_for",
+    "CounterexampleWindow",
+    "SpecVerdicts",
+    "SpecViolationError",
+    "StreamingSpecSuite",
     "__version__",
 ]

@@ -4,6 +4,10 @@
 common operations:
 
 * ``run``      -- simulate one algorithm on a named scenario and print metrics,
+* ``check``    -- run with the streaming spec monitors attached and print the
+  Exclusion/Synchronization/Progress verdicts plus a fairness summary (works
+  on sparse ``--sparse`` runs of any length; exits non-zero if any of the
+  three checked properties is violated — fairness is informational),
 * ``bounds``   -- print the analytical quantities (minMM, AMM bounds, ...) of a scenario,
 * ``compare``  -- run CC1/CC2/CC3 and all baselines on a scenario and print one table,
 * ``scenarios``-- list the available scenarios.
@@ -12,6 +16,8 @@ Examples::
 
     repro-cc scenarios
     repro-cc run --scenario figure1 --algorithm cc2 --steps 2000
+    repro-cc check --scenario cycle-100 --engine incremental --sparse --steps 1000000
+    repro-cc check --scenario figure1 --arbitrary --stop-on-violation
     repro-cc bounds --scenario figure2-impossibility
     repro-cc compare --scenario grid-3x3 --rounds 300
 """
@@ -33,13 +39,13 @@ from repro.baselines import (
 )
 from repro.core.runner import CommitteeCoordinator
 from repro.metrics.throughput import measure_throughput
-from repro.workloads.scenarios import paper_scenarios, scaling_scenarios, scenario_by_name
+from repro.workloads.scenarios import all_scenarios, scenario_by_name
 
 
 def _cmd_scenarios(_: argparse.Namespace) -> int:
     rows = [
         {"name": s.name, "n": s.n, "m": s.m, "description": s.description}
-        for s in paper_scenarios() + scaling_scenarios()
+        for s in all_scenarios()
     ]
     print(format_table(rows, title="Scenarios"))
     return 0
@@ -66,6 +72,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for event in outcome.events[:50]:
             print(f"  {event.kind:9s} {tuple(event.committee.members)} at configuration {event.configuration_index}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    scenario = scenario_by_name(args.scenario)
+    coordinator = CommitteeCoordinator(
+        scenario.hypergraph,
+        algorithm=args.algorithm,
+        token=args.token,
+        seed=args.seed,
+        engine=args.engine,
+    )
+    outcome = coordinator.run(
+        max_steps=args.steps,
+        discussion_steps=args.discussion,
+        from_arbitrary=args.arbitrary,
+        record_configurations=not args.sparse,
+        check=True,
+        stop_on_violation=args.stop_on_violation,
+        grace_steps=args.grace,
+    )
+    spec = outcome.spec
+    assert spec is not None
+    rows = spec.as_rows()
+    fairness = spec.fairness
+    # Fairness is a liveness notion rendered as counts on a finite run, so
+    # it is reported informationally ("holds" stays blank) and does not
+    # drive the exit code — only Exclusion/Synchronization/Progress do.
+    rows.append(
+        {
+            "property": "Fairness",
+            "holds": "-",
+            "violations": (
+                f"{len(fairness.starved_professors)}p/"
+                f"{len(fairness.starved_committees)}c starved"
+            ),
+            "first": f"jain={fairness.professor_jain_index():.3f}",
+        }
+    )
+    mode = "sparse" if args.sparse else "dense"
+    title = (
+        f"Spec check: {args.algorithm.upper()} on {scenario.name} "
+        f"({args.engine} engine, {mode}, {outcome.steps} steps)"
+    )
+    print(format_table(rows, title=title))
+    if outcome.result.stop_reason == "violation":
+        print(f"run halted at first violation (step {spec.first_violation.step_index}):")
+    if spec.first_violation is not None:
+        print(spec.first_violation.describe())
+    if fairness.starved_professors:
+        print(f"starved professors: {fairness.starved_professors}")
+    if fairness.starved_committees:
+        print(f"starved committees: {fairness.starved_committees}")
+    return 0 if spec.all_hold else 1
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -103,6 +162,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-cc", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -125,6 +191,47 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--arbitrary", action="store_true", help="start from an arbitrary configuration")
     run.add_argument("--verbose", action="store_true", help="print meeting events")
     run.set_defaults(func=_cmd_run)
+
+    check = sub.add_parser(
+        "check",
+        help="run with streaming spec monitors and print property verdicts",
+    )
+    check.add_argument("--scenario", default="figure1")
+    check.add_argument("--algorithm", default="cc2", choices=["cc1", "cc2", "cc3"])
+    check.add_argument("--token", default="tree", choices=["tree", "ring", "oracle"])
+    check.add_argument(
+        "--engine",
+        default="incremental",
+        choices=["dense", "incremental"],
+        help="execution engine (incremental by default: spec checking is the sparse-run workhorse)",
+    )
+    check.add_argument(
+        "--steps",
+        type=_positive_int,
+        default=2000,
+        help="step budget, >= 1 (a zero-step run would vacuously 'hold')",
+    )
+    check.add_argument("--discussion", type=int, default=1)
+    check.add_argument("--seed", type=int, default=1)
+    check.add_argument(
+        "--sparse",
+        action="store_true",
+        help="record_configurations=False: verdicts are computed online, in "
+        "memory constant in the run length (O(n + m))",
+    )
+    check.add_argument("--arbitrary", action="store_true", help="start from an arbitrary configuration")
+    check.add_argument(
+        "--stop-on-violation",
+        action="store_true",
+        help="halt at the first safety violation and print the counterexample window",
+    )
+    check.add_argument(
+        "--grace",
+        type=_positive_int,
+        default=None,
+        help="Progress tail window in configurations, >= 1 (default: half the trace)",
+    )
+    check.set_defaults(func=_cmd_check)
 
     bounds = sub.add_parser("bounds", help="print analytical bounds for a scenario")
     bounds.add_argument("--scenario", default="figure1")

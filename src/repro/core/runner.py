@@ -34,6 +34,7 @@ from repro.kernel.trace import Trace
 from repro.metrics.collector import StreamingMetricsCollector, TraceMetrics, collect_metrics
 from repro.spec.events import MeetingEvent, convened_meetings, meeting_events
 from repro.spec.fairness import FairnessSummary, professor_fairness_counts
+from repro.spec.streaming import SpecVerdicts, StreamingSpecSuite
 from repro.tokenring.dijkstra_ring import DijkstraRingToken
 from repro.tokenring.oracle import OracleTokenModule
 from repro.tokenring.tree_circulation import TreeTokenCirculation
@@ -55,6 +56,8 @@ class SimulationOutcome:
     fairness: FairnessSummary
     hypergraph: Hypergraph
     algorithm_name: str
+    #: Streaming spec verdicts (``run(check=True)``); ``None`` otherwise.
+    spec: Optional[SpecVerdicts] = None
 
     @property
     def final(self) -> Configuration:
@@ -62,7 +65,10 @@ class SimulationOutcome:
 
     @property
     def meetings_convened(self) -> int:
-        return sum(1 for e in self.events if e.kind == "convene")
+        # Delegate to the metrics, which are exact on dense *and* sparse
+        # runs (the events list stays empty when configurations are not
+        # recorded, so summing it would silently report 0 on sparse runs).
+        return self.metrics.meetings_convened
 
     @property
     def steps(self) -> int:
@@ -164,6 +170,9 @@ class CommitteeCoordinator:
         discussion_steps: int = 1,
         from_arbitrary: bool = False,
         record_configurations: bool = True,
+        check: bool = False,
+        stop_on_violation: bool = False,
+        grace_steps: Optional[int] = None,
     ) -> SimulationOutcome:
         """Run one computation and collect metrics.
 
@@ -177,6 +186,16 @@ class CommitteeCoordinator:
         ``metrics`` and ``fairness`` are still exact — they are computed
         online by a :class:`StreamingMetricsCollector` while the run happens.
         Only the per-event ``events`` list is skipped (it stays empty).
+
+        With ``check=True`` a :class:`StreamingSpecSuite` rides along the run
+        (dense or sparse) and the outcome's ``spec`` carries the
+        Exclusion/Synchronization/Progress reports and the fairness summary —
+        identical to running the dense post-hoc checkers on the equivalent
+        recorded trace.  ``stop_on_violation=True`` (implies ``check``) halts
+        the run at the first safety violation: the scheduler result's
+        ``stop_reason`` is ``"violation"`` and ``spec.first_violation`` holds
+        the counterexample window.  ``grace_steps`` tunes the Progress tail
+        window (default: half the trace length).
         """
         env = environment if environment is not None else AlwaysRequestingEnvironment(discussion_steps)
         daemon = self._build_daemon()
@@ -184,6 +203,22 @@ class CommitteeCoordinator:
         if from_arbitrary:
             initial = arbitrary_configuration(self.algorithm, seed=self.seed)
         collector = None if record_configurations else StreamingMetricsCollector(self.hypergraph)
+        suite = None
+        if check or stop_on_violation:
+            # When the metrics collector rides along too, the suite reuses
+            # its meeting-event stream and convene counter: metrics + spec
+            # checking together pay the per-step committee sweep once.  The
+            # collector must run first in the listener sequence.
+            suite = StreamingSpecSuite(
+                self.hypergraph,
+                grace_steps=grace_steps,
+                stop_on_violation=stop_on_violation,
+                stream=collector.stream if collector is not None else None,
+                fairness=collector.fairness_monitor if collector is not None else None,
+            )
+        listeners = [
+            observer.observe_step for observer in (collector, suite) if observer is not None
+        ]
         scheduler = Scheduler(
             self.algorithm,
             environment=env,
@@ -191,7 +226,7 @@ class CommitteeCoordinator:
             initial_configuration=initial,
             record_configurations=record_configurations,
             engine=self.engine,
-            step_listener=collector.observe_step if collector is not None else None,
+            step_listener=listeners or None,
         )
         result = scheduler.run(max_steps=max_steps)
         trace = result.trace
@@ -211,6 +246,7 @@ class CommitteeCoordinator:
             fairness=fairness,
             hypergraph=self.hypergraph,
             algorithm_name=self.algorithm_name,
+            spec=suite.verdicts() if suite is not None else None,
         )
 
     def meetings_in(self, configuration: Configuration) -> Tuple[Hyperedge, ...]:

@@ -33,7 +33,7 @@ from repro.kernel.daemon import (
     WeaklyFairDaemon,
 )
 from repro.kernel.faults import FaultInjector, arbitrary_configuration
-from repro.kernel.scheduler import Scheduler, SchedulerResult, StepRecord
+from repro.kernel.scheduler import Scheduler, SchedulerResult, StepRecord, StopRun
 from repro.kernel.trace import Trace
 
 __all__ = [
@@ -54,5 +54,6 @@ __all__ = [
     "Scheduler",
     "SchedulerResult",
     "StepRecord",
+    "StopRun",
     "Trace",
 ]

@@ -61,6 +61,17 @@ class Configuration:
     def get(self, pid: ProcessId, variable: str, default: Any = None) -> Any:
         return self._states[pid].get(variable, default)
 
+    def states_view(self) -> Mapping[ProcessId, ProcessState]:
+        """Zero-copy read access to the underlying per-process mappings.
+
+        The returned mapping (and the per-process mappings inside it) MUST
+        NOT be mutated — they are the configuration's internal state, shared
+        copy-on-write with derived configurations.  This accessor exists for
+        per-step observers (streaming metrics/spec monitors) whose inner
+        loops would otherwise pay one :meth:`get` call per variable read.
+        """
+        return self._states
+
     def __getitem__(self, key: Tuple[ProcessId, str]) -> Any:
         pid, variable = key
         return self._states[pid][variable]

@@ -11,10 +11,13 @@ observed in a single trace.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Sequence
 
 from repro.kernel.algorithm import DistributedAlgorithm
 from repro.kernel.configuration import Configuration, ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.kernel.scheduler import Scheduler
 
 
 def arbitrary_configuration(
@@ -75,6 +78,32 @@ class FaultInjector:
         for pid in victims:
             states[pid] = self._algorithm.arbitrary_state(pid, self._rng)
         return Configuration(states)
+
+    def corrupt_scheduler(
+        self,
+        scheduler: "Scheduler",
+        victims: Optional[Iterable[ProcessId]] = None,
+    ) -> Configuration:
+        """Corrupt a *running* scheduler's configuration between steps.
+
+        Applies :meth:`corrupt` to the scheduler's current configuration and
+        installs the result via
+        :meth:`~repro.kernel.scheduler.Scheduler.set_configuration`, which
+        also invalidates the incremental engine's cached enabled map — so the
+        dirty-set protocol observes the corruption instead of stepping from a
+        stale guard evaluation.  Returns the corrupted configuration.
+
+        Note for spec checking: a meeting *fabricated* by the corruption is
+        attributed to the run like any other transition — the dense post-hoc
+        checkers and the streaming monitors both report it (identically) as
+        a convene, typically violating Synchronization/Exclusion.  That is
+        the intended differential-testing behaviour; to check the paper's
+        after-the-last-fault guarantee instead, attach fresh monitors after
+        the final burst (see :mod:`repro.spec.streaming`).
+        """
+        corrupted = self.corrupt(scheduler.configuration, victims)
+        scheduler.set_configuration(corrupted)
+        return corrupted
 
     def corrupt_variables(
         self,

@@ -40,7 +40,7 @@ Two execution engines are available (``engine=`` parameter):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.kernel.algorithm import ActionContext, DistributedAlgorithm, Environment
 from repro.kernel.configuration import Configuration, ProcessId
@@ -49,6 +49,28 @@ from repro.kernel.trace import StepRecord, Trace
 
 #: Valid values of the ``engine`` parameter.
 ENGINES = ("dense", "incremental")
+
+#: Signature of a scheduler observer (see ``Scheduler`` ``step_listener``).
+StepListener = Callable[[Configuration, Optional[StepRecord]], None]
+
+
+class StopRun(Exception):
+    """Raised by a step listener to halt the run after the current step.
+
+    The scheduler's observer protocol is deliberately dumb: listeners are
+    called after every committed step and normally just accumulate state
+    (metrics, spec monitors).  A listener that wants to *stop* the run — e.g.
+    a streaming property monitor in ``stop_on_violation`` mode — raises
+    :class:`StopRun`; :meth:`Scheduler.run` catches it and returns a
+    :class:`SchedulerResult` whose ``stop_reason`` is the exception's
+    ``reason``.  The step that triggered the stop is fully committed (trace,
+    round bookkeeping, environment observation), so the run can be resumed or
+    inspected at the exact offending step.
+    """
+
+    def __init__(self, reason: str = "listener_stop", message: str = "") -> None:
+        super().__init__(message or reason)
+        self.reason = reason
 
 
 @dataclass
@@ -94,10 +116,16 @@ class Scheduler:
     engine:
         ``"dense"`` (default) or ``"incremental"``; see the module docstring.
     step_listener:
-        Optional callable invoked as ``step_listener(configuration, record)``
-        — once at construction with the initial configuration and
-        ``record=None``, then after every step with the new configuration and
-        its :class:`StepRecord`.  Used by the streaming metrics path.
+        Optional observer — a callable or a sequence of callables — invoked
+        as ``listener(configuration, record)``: once at construction with the
+        initial configuration and ``record=None``, then after every step with
+        the new configuration and its :class:`StepRecord`.  This is the
+        observer protocol shared by
+        :class:`~repro.metrics.collector.StreamingMetricsCollector` and the
+        streaming spec monitors
+        (:class:`~repro.spec.streaming.StreamingSpecSuite`); any number of
+        observers can ride along one run.  A listener may raise
+        :class:`StopRun` to halt the run after the current step.
     """
 
     def __init__(
@@ -108,9 +136,7 @@ class Scheduler:
         initial_configuration: Optional[Configuration] = None,
         record_configurations: bool = True,
         engine: str = "dense",
-        step_listener: Optional[
-            Callable[[Configuration, Optional[StepRecord]], None]
-        ] = None,
+        step_listener: Optional[Union[StepListener, Sequence[StepListener]]] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -143,7 +169,12 @@ class Scheduler:
         # current round that have not yet been activated or neutralized.
         self.round_index = 0
         self._round_pending: Optional[Set[ProcessId]] = None
-        self._step_listener = step_listener
+        if step_listener is None:
+            self._step_listeners: List[StepListener] = []
+        elif callable(step_listener):
+            self._step_listeners = [step_listener]
+        else:
+            self._step_listeners = list(step_listener)
         # Incremental engine state: the cached enabled map (valid for the
         # current configuration, modulo environment drift handled in
         # ``_current_enabled``) and the inverse dependency map
@@ -160,8 +191,18 @@ class Scheduler:
             self._dependents = {q: frozenset(ps) for q, ps in dependents.items()}
         # Let stateful environments see the initial configuration.
         self.environment.observe(self.configuration, -1)
-        if self._step_listener is not None:
-            self._step_listener(self.configuration, None)
+        for listener in self._step_listeners:
+            listener(self.configuration, None)
+
+    def add_step_listener(self, listener: StepListener) -> None:
+        """Attach another observer mid-construction (before the run starts).
+
+        The listener is immediately fed the current configuration with
+        ``record=None`` (mirroring the construction-time call), so observers
+        attached after ``__init__`` see the same stream as those passed in.
+        """
+        self._step_listeners.append(listener)
+        listener(self.configuration, None)
 
     # ------------------------------------------------------------------ #
     # single step
@@ -177,6 +218,20 @@ class Scheduler:
         outside the scheduler, e.g. when injecting mid-run faults.
         """
         self._enabled_cache = None
+
+    def set_configuration(self, configuration: Configuration) -> None:
+        """Replace the current configuration from outside the step loop.
+
+        This is the supported way to model a mid-run transient fault burst
+        (see :meth:`repro.kernel.faults.FaultInjector.corrupt_scheduler`): the
+        new configuration becomes the source of the next step and the
+        incremental engine's cached enabled map is invalidated, so guards are
+        re-evaluated against the corrupted state instead of the stale cache.
+        Round bookkeeping is kept — the pending set is pruned against the
+        fresh enabled map on the next step anyway.
+        """
+        self.configuration = configuration
+        self.invalidate_enabled_cache()
 
     def _current_enabled(self) -> Dict[ProcessId, Any]:
         """The enabled map for the current configuration (cached if incremental)."""
@@ -305,8 +360,18 @@ class Scheduler:
             self.trace.append_sparse(new_configuration, record)
         self.step_index += 1
         self.environment.observe(new_configuration, record.index)
-        if self._step_listener is not None:
-            self._step_listener(new_configuration, record)
+        # Every listener sees every committed step, even when one of them
+        # stops the run: capture the first StopRun, keep notifying the rest
+        # (their state must stay in sync with the trace), then re-raise.
+        stop: Optional[StopRun] = None
+        for listener in self._step_listeners:
+            try:
+                listener(new_configuration, record)
+            except StopRun as exc:
+                if stop is None:
+                    stop = exc
+        if stop is not None:
+            raise stop
         return record
 
     # ------------------------------------------------------------------ #
@@ -325,7 +390,8 @@ class Scheduler:
         step — including idle ticks, so a predicate that becomes true while
         the system is quiescent (e.g. an external timer expiring) stops the
         run promptly instead of spinning to ``max_steps``; when it returns
-        ``True`` the run stops with reason ``"predicate"``.
+        ``True`` the run stops with reason ``"predicate"``.  A step listener
+        raising :class:`StopRun` stops the run with the exception's reason.
 
         With ``allow_idle_steps=True`` a configuration with no enabled process
         does *not* end the run: an "idle tick" is consumed instead (the
@@ -342,7 +408,13 @@ class Scheduler:
             if max_rounds is not None and self.round_index >= max_rounds:
                 stop_reason = "max_rounds"
                 break
-            record = self.step()
+            try:
+                record = self.step()
+            except StopRun as stop:
+                # A listener (e.g. a spec monitor in stop_on_violation mode)
+                # halted the run; the offending step is fully committed.
+                stop_reason = stop.reason
+                break
             if record is None:
                 if not allow_idle_steps:
                     terminated = True

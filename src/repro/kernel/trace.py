@@ -96,6 +96,26 @@ class Trace:
         """``True`` iff intermediate configurations were dropped while recording."""
         return self._sparse_final is not None
 
+    def require_dense(self, consumer: str) -> None:
+        """Raise a clear :class:`ValueError` if this trace is sparse.
+
+        Every consumer that walks the full configuration sequence (the dense
+        spec checkers, ``waiting_spells``, ``concurrency_profile``, ...) calls
+        this first, so a sparse trace fails loudly instead of silently
+        reporting a vacuous verdict computed from the initial configuration
+        alone.
+        """
+        if self.is_sparse:
+            raise ValueError(
+                f"{consumer} needs a densely recorded trace, but this trace "
+                "was recorded with record_configurations=False and only "
+                "retains the initial and final configurations; re-run with "
+                "record_configurations=True, or attach a streaming monitor "
+                "(repro.spec.streaming.StreamingSpecSuite, "
+                "repro.metrics.collector.StreamingMetricsCollector, ...) as a "
+                "scheduler step_listener while the run happens"
+            )
+
     @property
     def configurations(self) -> Sequence[Configuration]:
         """All recorded configurations (only the initial one when sparse)."""

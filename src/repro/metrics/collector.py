@@ -15,9 +15,9 @@ the dense trace.  Attach it to the scheduler via ``step_listener``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from repro.hypergraph.hypergraph import Hypergraph, ProcessId
+from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernel.configuration import Configuration
 from repro.kernel.trace import StepRecord, Trace
 from repro.spec.events import (
@@ -27,6 +27,7 @@ from repro.spec.events import (
     participations,
 )
 from repro.spec.fairness import FairnessSummary, professor_fairness_counts
+from repro.spec.streaming import StreamingFairnessMonitor
 
 
 @dataclass(frozen=True)
@@ -75,37 +76,46 @@ class StreamingMetricsCollector:
     def __init__(self, hypergraph: Hypergraph) -> None:
         self._hypergraph = hypergraph
         self._stream = MeetingEventStream(hypergraph)
-        self._per_professor: Dict[ProcessId, int] = {p: 0 for p in hypergraph.vertices}
-        self._per_committee: Dict[Tuple[ProcessId, ...], int] = {
-            e.members: 0 for e in hypergraph.hyperedges
-        }
-        self._meetings_convened = 0
+        self._fairness = StreamingFairnessMonitor(hypergraph)
         self._profile_sum = 0
         self._profile_count = 0
         self._peak_concurrency = 0
+
+    @property
+    def stream(self) -> MeetingEventStream:
+        """The meeting-event stream this collector drives.
+
+        Pass it (together with :attr:`fairness_monitor`) to a
+        :class:`~repro.spec.streaming.StreamingSpecSuite` registered *after*
+        this collector in the scheduler's listener sequence, so metrics and
+        spec checking share one per-step meeting sweep and can never
+        disagree on convene events.
+        """
+        return self._stream
+
+    @property
+    def fairness_monitor(self) -> StreamingFairnessMonitor:
+        """The shared convene counter (see :attr:`stream`)."""
+        return self._fairness
 
     def observe_step(
         self, configuration: Configuration, record: Optional[StepRecord] = None
     ) -> None:
         """Scheduler ``step_listener`` hook (``record`` is unused)."""
-        for event in self._stream.observe(configuration):
-            if event.kind == "convene":
-                self._meetings_convened += 1
-                self._per_committee[event.committee.members] += 1
-                for member in event.committee:
-                    self._per_professor[member] += 1
+        self._fairness.consume(self._stream.observe(configuration))
         held = self._stream.current_meetings
         self._profile_sum += held
         self._profile_count += 1
         if held > self._peak_concurrency:
             self._peak_concurrency = held
 
+    @property
+    def _meetings_convened(self) -> int:
+        return self._fairness.meetings_convened
+
     def fairness(self) -> FairnessSummary:
         """Participation statistics seen so far (mirrors ``professor_fairness_counts``)."""
-        return FairnessSummary(
-            per_professor=dict(self._per_professor),
-            per_committee=dict(self._per_committee),
-        )
+        return self._fairness.summary()
 
     def metrics(self, trace: Trace) -> TraceMetrics:
         """The :class:`TraceMetrics` of the observed run.

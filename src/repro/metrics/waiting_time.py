@@ -121,13 +121,7 @@ def waiting_spells(trace: Trace, hypergraph: Hypergraph) -> Dict[ProcessId, List
     retained: use :class:`WaitingSpellTracker` as a scheduler
     ``step_listener`` to measure waiting spells on such runs instead.
     """
-    if trace.is_sparse:
-        raise ValueError(
-            "waiting_spells needs a densely recorded trace, but this trace was "
-            "recorded with record_configurations=False and only retains the "
-            "initial configuration; re-run with record_configurations=True or "
-            "attach a WaitingSpellTracker as the scheduler's step_listener"
-        )
+    trace.require_dense("waiting_spells")
     tracker = WaitingSpellTracker(hypergraph)
     for configuration in trace.configurations:
         tracker.observe(configuration)

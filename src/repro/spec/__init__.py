@@ -17,9 +17,21 @@ from repro.spec.events import (
     waiting_processes,
 )
 from repro.spec.properties import (
+    PropertyReport,
+    Violation,
     check_exclusion,
     check_progress,
     check_synchronization,
+)
+from repro.spec.streaming import (
+    CounterexampleWindow,
+    SpecVerdicts,
+    SpecViolationError,
+    StreamingExclusionMonitor,
+    StreamingFairnessMonitor,
+    StreamingProgressMonitor,
+    StreamingSpecSuite,
+    StreamingSynchronizationMonitor,
 )
 from repro.spec.discussion import check_essential_discussion, check_voluntary_discussion
 from repro.spec.fairness import committee_fairness_counts, professor_fairness_counts
@@ -35,9 +47,19 @@ __all__ = [
     "participations",
     "terminated_meetings",
     "waiting_processes",
+    "PropertyReport",
+    "Violation",
     "check_exclusion",
     "check_progress",
     "check_synchronization",
+    "CounterexampleWindow",
+    "SpecVerdicts",
+    "SpecViolationError",
+    "StreamingExclusionMonitor",
+    "StreamingFairnessMonitor",
+    "StreamingProgressMonitor",
+    "StreamingSpecSuite",
+    "StreamingSynchronizationMonitor",
     "check_essential_discussion",
     "check_voluntary_discussion",
     "committee_fairness_counts",

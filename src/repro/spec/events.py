@@ -73,15 +73,42 @@ class MeetingEventStream:
         #: Number of committees meeting in the most recently observed
         #: configuration (the online concurrency profile sample).
         self.current_meetings = 0
+        #: The committees meeting in the most recently observed configuration,
+        #: in hyperedge order — the streaming counterpart of
+        #: :func:`meetings_in` (used by the streaming spec monitors).
+        self.held: Tuple[Hyperedge, ...] = ()
+        #: The events returned by the most recent :meth:`observe` call, so a
+        #: second observer sharing this stream (e.g. a spec suite riding the
+        #: metrics collector's stream) can read them without re-scanning.
+        self.last_events: List[MeetingEvent] = []
+
+    @property
+    def observations(self) -> int:
+        """Number of configurations observed so far (shared-stream sync check)."""
+        return self._index
 
     def observe(self, configuration: Configuration) -> List[MeetingEvent]:
         events: List[MeetingEvent] = []
         first = self._index == 0
-        meeting_count = 0
+        held: List[Hyperedge] = []
+        # Inlined committee_meets over the zero-copy state view: this runs
+        # once per hyperedge per step on sparse multi-million-step runs, so
+        # the per-variable accessor cost matters.
+        states = configuration.states_view()
         for edge in self._edges:
-            now = committee_meets(configuration, edge)
+            now = True
+            for q in edge.members:
+                state = states[q]
+                pointer = state.get(POINTER)
+                if pointer is not edge and pointer != edge:
+                    now = False
+                    break
+                status = state.get(STATUS)
+                if status != WAITING and status != DONE:
+                    now = False
+                    break
             if now:
-                meeting_count += 1
+                held.append(edge)
             if not first:
                 before = self._previous[edge]
                 if now and not before:
@@ -89,13 +116,16 @@ class MeetingEventStream:
                 elif before and not now:
                     events.append(MeetingEvent("terminate", edge, self._index))
             self._previous[edge] = now
-        self.current_meetings = meeting_count
+        self.held = tuple(held)
+        self.current_meetings = len(held)
+        self.last_events = events
         self._index += 1
         return events
 
 
 def meeting_events(trace: Trace, hypergraph: Hypergraph) -> List[MeetingEvent]:
     """All convene/terminate events of a (densely recorded) trace."""
+    trace.require_dense("meeting_events")
     stream = MeetingEventStream(hypergraph)
     events: List[MeetingEvent] = []
     for configuration in trace.configurations:
@@ -129,4 +159,5 @@ def participations(trace: Trace, hypergraph: Hypergraph) -> Dict[ProcessId, int]
 
 def concurrency_profile(trace: Trace, hypergraph: Hypergraph) -> List[int]:
     """Number of simultaneously-held meetings in every configuration."""
+    trace.require_dense("concurrency_profile")
     return [len(meetings_in(cfg, hypergraph)) for cfg in trace.configurations]

@@ -55,7 +55,13 @@ class FairnessSummary:
 
 
 def professor_fairness_counts(trace: Trace, hypergraph: Hypergraph) -> FairnessSummary:
-    """Participation counts per professor and per committee for one trace."""
+    """Participation counts per professor and per committee for one trace.
+
+    Raises :class:`ValueError` on sparse traces; use
+    :class:`repro.spec.streaming.StreamingFairnessMonitor` (or the
+    :class:`~repro.metrics.collector.StreamingMetricsCollector`) on such runs.
+    """
+    trace.require_dense("professor_fairness_counts")
     per_prof = participations(trace, hypergraph)
     per_committee: Dict[Tuple[ProcessId, ...], int] = {
         e.members: 0 for e in hypergraph.hyperedges

@@ -7,6 +7,19 @@ meetings only -- the paper's guarantee is that every meeting **convened
 after the last fault** satisfies the specification; a committee that appears
 to be "meeting" in the arbitrary initial configuration was not convened by
 the algorithm and carries no guarantee (Section 2.5).
+
+The verdict logic (what constitutes a violation, and the exact message it is
+reported with) lives in the shared helpers
+:func:`exclusion_violations_at`, :func:`synchronization_violations_at`,
+:func:`progress_window` and :func:`progress_violation`; the dense post-hoc
+checkers below and the streaming monitors in :mod:`repro.spec.streaming`
+both build on them, so the two paths produce byte-identical
+:class:`PropertyReport` objects for the same configuration stream.
+
+The dense checkers need the full configuration sequence and therefore raise
+a clear :class:`ValueError` on sparse traces
+(``record_configurations=False``) instead of silently reporting vacuous
+passes; use the streaming monitors on such runs.
 """
 
 from __future__ import annotations
@@ -21,6 +34,21 @@ from repro.kernel.trace import Trace
 from repro.spec.events import committee_meets, convened_meetings, meetings_in
 
 
+@dataclass(frozen=True)
+class Violation:
+    """One structured property violation.
+
+    ``committees`` names the involved committees (two for an Exclusion
+    conflict, one for Synchronization and Progress); ``message`` is the
+    human-readable rendering that :class:`PropertyReport` exposes.
+    """
+
+    property_name: str
+    configuration_index: int
+    committees: Tuple[Tuple[ProcessId, ...], ...]
+    message: str
+
+
 @dataclass
 class PropertyReport:
     """Outcome of a property check."""
@@ -28,11 +56,97 @@ class PropertyReport:
     name: str
     holds: bool
     violations: List[str] = field(default_factory=list)
+    details: List[Violation] = field(default_factory=list)
 
     def __bool__(self) -> bool:
         return self.holds
 
 
+def report_from_details(name: str, details: Sequence[Violation]) -> PropertyReport:
+    """Build a :class:`PropertyReport` from structured violations."""
+    details = list(details)
+    return PropertyReport(name, not details, [v.message for v in details], details)
+
+
+# --------------------------------------------------------------------------- #
+# shared verdict logic (used by the dense checkers and the streaming monitors)
+# --------------------------------------------------------------------------- #
+def exclusion_violations_at(
+    index: int, held: Sequence[Hyperedge]
+) -> List[Violation]:
+    """Exclusion violations among the committees ``held`` meeting in ``γ_index``."""
+    violations: List[Violation] = []
+    for i, a in enumerate(held):
+        for b in held[i + 1 :]:
+            if a.intersects(b):
+                violations.append(
+                    Violation(
+                        "Exclusion",
+                        index,
+                        (a.members, b.members),
+                        f"configuration {index}: conflicting committees "
+                        f"{tuple(a.members)} and {tuple(b.members)} meet "
+                        "simultaneously",
+                    )
+                )
+    return violations
+
+
+def synchronization_violations_at(
+    index: int, committee: Hyperedge, configuration: Configuration
+) -> List[Violation]:
+    """Lemma 2 violations for a committee that convened in ``γ_index``."""
+    violations: List[Violation] = []
+    for member in committee:
+        status = configuration.get(member, STATUS)
+        pointer = configuration.get(member, POINTER)
+        if status != WAITING or pointer != committee:
+            violations.append(
+                Violation(
+                    "Synchronization",
+                    index,
+                    (committee.members,),
+                    f"configuration {index}: committee "
+                    f"{tuple(committee.members)} convened but member {member} "
+                    f"has S={status!r}, P={pointer!r}",
+                )
+            )
+    return violations
+
+
+def progress_window(
+    n_configurations: int, grace_steps: Optional[int] = None
+) -> Optional[int]:
+    """The tail-window length for the finite-trace Progress check.
+
+    Returns ``None`` when the trace is too short for the check to be
+    meaningful (fewer than 4 configurations — the check passes vacuously).
+    An explicit ``grace_steps`` must be >= 1: a zero window would make the
+    dense tail slice (``[-0:]`` = the whole trace) and the streaming
+    monitor's empty window silently disagree.
+    """
+    if grace_steps is not None and grace_steps < 1:
+        raise ValueError(f"grace_steps must be >= 1, got {grace_steps!r}")
+    if n_configurations < 4:
+        return None
+    window = grace_steps if grace_steps is not None else max(2, n_configurations // 2)
+    return min(window, n_configurations - 1)
+
+
+def progress_violation(edge: Hyperedge, window: int, last_index: int) -> Violation:
+    """The Progress violation for a committee starved over the final window."""
+    return Violation(
+        "Progress",
+        last_index,
+        (edge.members,),
+        f"committee {tuple(edge.members)}: all members waiting for the last "
+        f"{window} configurations and none participated in any meeting",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# dense post-hoc checkers
+# --------------------------------------------------------------------------- #
 def check_exclusion(trace: Trace, hypergraph: Hypergraph) -> PropertyReport:
     """*No two conflicting committees may meet simultaneously.*
 
@@ -42,22 +156,17 @@ def check_exclusion(trace: Trace, hypergraph: Hypergraph) -> PropertyReport:
     conflict with any other *meeting* committee -- this is exactly the
     "no interference" guarantee of snap-stabilization).
     """
-    violations: List[str] = []
+    trace.require_dense("check_exclusion")
     convene_indices = {e.configuration_index for e in convened_meetings(trace, hypergraph)}
     if not convene_indices:
         return PropertyReport("Exclusion", True)
     start = min(convene_indices)
     configurations = trace.configurations
+    details: List[Violation] = []
     for index in range(start, len(configurations)):
         held = meetings_in(configurations[index], hypergraph)
-        for i, a in enumerate(held):
-            for b in held[i + 1 :]:
-                if a.intersects(b):
-                    violations.append(
-                        f"configuration {index}: conflicting committees {tuple(a.members)} "
-                        f"and {tuple(b.members)} meet simultaneously"
-                    )
-    return PropertyReport("Exclusion", not violations, violations)
+        details.extend(exclusion_violations_at(index, held))
+    return report_from_details("Exclusion", details)
 
 
 def check_synchronization(trace: Trace, hypergraph: Hypergraph) -> PropertyReport:
@@ -67,20 +176,18 @@ def check_synchronization(trace: Trace, hypergraph: Hypergraph) -> PropertyRepor
     ``P = ε`` and ``S = waiting``.  We check the sharpened form on the
     configuration in which each convene event occurs.
     """
-    violations: List[str] = []
+    trace.require_dense("check_synchronization")
     configurations = trace.configurations
+    details: List[Violation] = []
     for event in convened_meetings(trace, hypergraph):
-        cfg = configurations[event.configuration_index]
-        for member in event.committee:
-            status = cfg.get(member, STATUS)
-            pointer = cfg.get(member, POINTER)
-            if status != WAITING or pointer != event.committee:
-                violations.append(
-                    f"configuration {event.configuration_index}: committee "
-                    f"{tuple(event.committee.members)} convened but member {member} has "
-                    f"S={status!r}, P={pointer!r}"
-                )
-    return PropertyReport("Synchronization", not violations, violations)
+        details.extend(
+            synchronization_violations_at(
+                event.configuration_index,
+                event.committee,
+                configurations[event.configuration_index],
+            )
+        )
+    return report_from_details("Synchronization", details)
 
 
 def check_progress(
@@ -100,14 +207,14 @@ def check_progress(
     window is generous enough that the algorithms' progress mechanisms (token
     priority) act well within it for the sizes we simulate.
     """
+    trace.require_dense("check_progress")
     configurations = trace.configurations
-    if len(configurations) < 4:
+    window = progress_window(len(configurations), grace_steps)
+    if window is None:
         return PropertyReport("Progress", True)
-    window = grace_steps if grace_steps is not None else max(2, len(configurations) // 2)
-    window = min(window, len(configurations) - 1)
     tail = configurations[-window:]
 
-    violations: List[str] = []
+    details: List[Violation] = []
     for edge in hypergraph.hyperedges:
         all_waiting_throughout = all(
             all(cfg.get(q, STATUS) in (LOOKING, WAITING) for q in edge) for cfg in tail
@@ -124,8 +231,5 @@ def check_progress(
             if member_met:
                 break
         if not member_met:
-            violations.append(
-                f"committee {tuple(edge.members)}: all members waiting for the last "
-                f"{window} configurations and none participated in any meeting"
-            )
-    return PropertyReport("Progress", not violations, violations)
+            details.append(progress_violation(edge, window, len(configurations) - 1))
+    return report_from_details("Progress", details)

@@ -1,0 +1,455 @@
+"""Streaming specification monitors: safety/progress/fairness in O(n + m) memory.
+
+The dense checkers in :mod:`repro.spec.properties` and
+:mod:`repro.spec.fairness` need the full recorded configuration sequence,
+which production-scale runs (``record_configurations=False``) do not retain.
+The monitors here consume the *stream* of configurations a scheduler
+produces — via the observer protocol shared with
+:class:`~repro.metrics.collector.StreamingMetricsCollector` (the scheduler's
+``step_listener`` hook) — and produce the **same**
+:class:`~repro.spec.properties.PropertyReport` /
+:class:`~repro.spec.fairness.FairnessSummary` objects as the dense post-hoc
+checkers, in memory proportional to the hypergraph, not to the run length.
+This is the runtime-verification style of checking: properties are evaluated
+incrementally over observations instead of over a stored trace.
+
+Usage::
+
+    suite = StreamingSpecSuite(hypergraph)
+    scheduler = Scheduler(algorithm, ..., record_configurations=False,
+                          step_listener=suite.observe_step)
+    scheduler.run(max_steps=5_000_000)
+    verdicts = suite.verdicts()     # == the dense checkers on the same run
+    assert verdicts.exclusion.holds and verdicts.synchronization.holds
+
+With ``stop_on_violation=True`` the suite raises
+:class:`SpecViolationError` (a :class:`~repro.kernel.scheduler.StopRun`) at
+the first safety violation; ``Scheduler.run`` halts at the offending step
+with ``stop_reason == "violation"`` and the suite's
+:attr:`~StreamingSpecSuite.first_violation` holds a
+:class:`CounterexampleWindow` — the violation plus the trailing
+configurations leading up to it — for debugging without a recorded trace.
+
+Parity contract with the dense checkers, monitor by monitor:
+
+* **Exclusion** — dense checks every configuration from the first convene
+  onward; the monitor arms itself at the first convene event and checks the
+  held meetings of every configuration from that one (inclusive) onward.
+* **Synchronization** — checked on each convene event, in the configuration
+  the event happens in; identical in both paths.
+* **Progress** — the dense check examines only the *final* tail window of
+  the trace, so a mid-run stall that recovers is not a violation; the
+  monitor therefore keeps per-professor "last seen not-waiting" / "last seen
+  in a meeting" watermarks and renders the verdict at :meth:`finalize` time,
+  when the trace length (and hence the default window) is known.  Progress
+  violations consequently never trigger the early stop — only the safety
+  monitors (Exclusion, Synchronization) do.
+* **Fairness** — convene-event counting, shared with the metrics collector.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.states import LOOKING, POINTER, STATUS, WAITING
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
+from repro.kernel.configuration import Configuration
+from repro.kernel.scheduler import StopRun
+from repro.kernel.trace import StepRecord
+from repro.spec.events import MeetingEvent, MeetingEventStream
+from repro.spec.fairness import FairnessSummary
+from repro.spec.properties import (
+    PropertyReport,
+    Violation,
+    exclusion_violations_at,
+    progress_violation,
+    progress_window,
+    report_from_details,
+    synchronization_violations_at,
+)
+
+
+@dataclass(frozen=True)
+class CounterexampleWindow:
+    """A violation plus the trailing configurations that led up to it.
+
+    ``frames`` holds ``(configuration_index, configuration)`` pairs in trace
+    order, ending with the configuration the violation occurred in — the
+    debuggable artefact a sparse run can still produce, because the suite
+    keeps a small bounded deque of recent configurations.
+    """
+
+    violation: Violation
+    frames: Tuple[Tuple[int, Configuration], ...]
+
+    @property
+    def step_index(self) -> int:
+        """Index of the configuration (= scheduler step count) of the violation."""
+        return self.violation.configuration_index
+
+    @property
+    def committees(self) -> Tuple[Tuple[ProcessId, ...], ...]:
+        return self.violation.committees
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering (used by ``repro-cc check``)."""
+        lines = [self.violation.message]
+        for index, configuration in self.frames:
+            states = ", ".join(
+                f"{pid}:S={configuration.get(pid, STATUS)!r}"
+                f",P={_pointer_label(configuration, pid)}"
+                for pid in configuration
+            )
+            lines.append(f"  γ_{index}: {states}")
+        return "\n".join(lines)
+
+
+def _pointer_label(configuration: Configuration, pid: ProcessId) -> str:
+    pointer = configuration.get(pid, POINTER)
+    if isinstance(pointer, Hyperedge):
+        return str(tuple(pointer.members))
+    return repr(pointer)
+
+
+class SpecViolationError(StopRun):
+    """Raised by a monitor in ``stop_on_violation`` mode; halts the scheduler.
+
+    Subclasses :class:`~repro.kernel.scheduler.StopRun`, so
+    ``Scheduler.run`` catches it and returns with
+    ``stop_reason == "violation"`` after committing the offending step.
+    """
+
+    def __init__(self, counterexample: CounterexampleWindow) -> None:
+        super().__init__("violation", counterexample.violation.message)
+        self.counterexample = counterexample
+
+
+# --------------------------------------------------------------------------- #
+# individual monitors
+# --------------------------------------------------------------------------- #
+class StreamingPropertyMonitor:
+    """Base class: consumes per-configuration deltas, accumulates violations."""
+
+    name: str = "Property"
+
+    def __init__(self) -> None:
+        self._details: List[Violation] = []
+
+    def observe(
+        self,
+        index: int,
+        configuration: Configuration,
+        held: Sequence[Hyperedge],
+        events: Sequence[MeetingEvent],
+    ) -> List[Violation]:
+        """Consume ``γ_index``; returns the violations that occur *in* it."""
+        raise NotImplementedError
+
+    def finalize(self, n_configurations: int) -> List[Violation]:
+        """Violations only decidable once the stream length is known."""
+        return []
+
+    def report(self, n_configurations: int) -> PropertyReport:
+        """The dense-identical :class:`PropertyReport` for the observed stream."""
+        return report_from_details(
+            self.name, self._details + self.finalize(n_configurations)
+        )
+
+
+class StreamingExclusionMonitor(StreamingPropertyMonitor):
+    """Online counterpart of :func:`repro.spec.properties.check_exclusion`.
+
+    Note that under the single-pointer trace vocabulary a violation cannot
+    arise from ``committee_meets``-consistent states: a shared member of two
+    conflicting committees has one ``P`` value, so distinct intersecting
+    committees can never *meet* simultaneously — exactly like the dense
+    checker, whose verdict this monitor replicates.  The monitor is
+    defense-in-depth: it guards the meeting-detection invariant itself (a
+    regression in ``committee_meets``/pointer handling, or a future
+    multi-pointer algorithm, would surface here), while observed safety
+    violations in practice come from the Synchronization monitor.
+    """
+
+    name = "Exclusion"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._armed = False
+
+    def observe(self, index, configuration, held, events):
+        if not self._armed and any(e.kind == "convene" for e in events):
+            # The first convene: from this configuration (inclusive) onward
+            # every pair of held meetings must be conflict-free — exactly the
+            # dense checker's ``start = min(convene_indices)``.
+            self._armed = True
+        if not self._armed:
+            return []
+        found = exclusion_violations_at(index, held)
+        self._details.extend(found)
+        return found
+
+
+class StreamingSynchronizationMonitor(StreamingPropertyMonitor):
+    """Online counterpart of :func:`repro.spec.properties.check_synchronization`."""
+
+    name = "Synchronization"
+
+    def observe(self, index, configuration, held, events):
+        found: List[Violation] = []
+        for event in events:
+            if event.kind == "convene":
+                found.extend(
+                    synchronization_violations_at(index, event.committee, configuration)
+                )
+        self._details.extend(found)
+        return found
+
+
+class StreamingProgressMonitor(StreamingPropertyMonitor):
+    """Online counterpart of :func:`repro.spec.properties.check_progress`.
+
+    Keeps two watermarks per professor — the last configuration index in
+    which it was *not* problem-level waiting, and the last one in which it
+    participated in a held meeting.  A committee violates Progress iff both
+    watermarks of every member predate the final grace window, which is
+    exactly the dense tail-window condition.  Being a liveness rendering,
+    the verdict is only available at :meth:`finalize`.
+    """
+
+    name = "Progress"
+
+    def __init__(self, hypergraph: Hypergraph, grace_steps: Optional[int] = None) -> None:
+        super().__init__()
+        if grace_steps is not None and grace_steps < 1:
+            # Fail at construction, not after a multi-million-step run.
+            raise ValueError(f"grace_steps must be >= 1, got {grace_steps!r}")
+        self._hypergraph = hypergraph
+        self._grace_steps = grace_steps
+        self._last_not_waiting: Dict[ProcessId, int] = {
+            p: -1 for p in hypergraph.vertices
+        }
+        self._last_met: Dict[ProcessId, int] = {p: -1 for p in hypergraph.vertices}
+
+    def observe(self, index, configuration, held, events):
+        last_not_waiting = self._last_not_waiting
+        states = configuration.states_view()
+        for pid in last_not_waiting:
+            status = states[pid].get(STATUS)
+            if status != LOOKING and status != WAITING:
+                last_not_waiting[pid] = index
+        for edge in held:
+            for member in edge.members:
+                self._last_met[member] = index
+        return []
+
+    def finalize(self, n_configurations: int) -> List[Violation]:
+        window = progress_window(n_configurations, self._grace_steps)
+        if window is None:
+            return []
+        start = n_configurations - window
+        found: List[Violation] = []
+        for edge in self._hypergraph.hyperedges:
+            if max(self._last_not_waiting[q] for q in edge) >= start:
+                continue  # some member left the waiting state inside the window
+            if max(self._last_met[q] for q in edge) >= start:
+                continue  # some member participated in a meeting inside the window
+            found.append(progress_violation(edge, window, n_configurations - 1))
+        return found
+
+
+class StreamingFairnessMonitor:
+    """Online counterpart of :func:`repro.spec.fairness.professor_fairness_counts`.
+
+    Counts convene events per professor and per committee; shared by
+    :class:`StreamingSpecSuite` and the
+    :class:`~repro.metrics.collector.StreamingMetricsCollector` so the two
+    observers never disagree on participation counts.
+    """
+
+    def __init__(self, hypergraph: Hypergraph) -> None:
+        self._per_professor: Dict[ProcessId, int] = {p: 0 for p in hypergraph.vertices}
+        self._per_committee: Dict[Tuple[ProcessId, ...], int] = {
+            e.members: 0 for e in hypergraph.hyperedges
+        }
+        self.meetings_convened = 0
+
+    def consume(self, events: Sequence[MeetingEvent]) -> None:
+        for event in events:
+            if event.kind != "convene":
+                continue
+            self.meetings_convened += 1
+            self._per_committee[event.committee.members] += 1
+            for member in event.committee:
+                self._per_professor[member] += 1
+
+    def summary(self) -> FairnessSummary:
+        return FairnessSummary(
+            per_professor=dict(self._per_professor),
+            per_committee=dict(self._per_committee),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# the suite
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SpecVerdicts:
+    """The bundle a spec-checked run produces (dense-identical reports)."""
+
+    exclusion: PropertyReport
+    synchronization: PropertyReport
+    progress: PropertyReport
+    fairness: FairnessSummary
+    first_violation: Optional[CounterexampleWindow] = None
+
+    @property
+    def all_hold(self) -> bool:
+        return self.exclusion.holds and self.synchronization.holds and self.progress.holds
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """One row per property (used by the ``repro-cc check`` table)."""
+        rows: List[Dict[str, object]] = []
+        for report in (self.exclusion, self.synchronization, self.progress):
+            rows.append(
+                {
+                    "property": report.name,
+                    "holds": report.holds,
+                    "violations": len(report.violations),
+                    "first": (
+                        report.details[0].configuration_index if report.details else "-"
+                    ),
+                }
+            )
+        return rows
+
+
+class StreamingSpecSuite:
+    """All four streaming monitors behind one scheduler observer.
+
+    Parameters
+    ----------
+    hypergraph:
+        Professors and committees (the spec is algorithm-agnostic).
+    grace_steps:
+        Progress tail window; defaults to half the trace length, like the
+        dense checker.
+    stop_on_violation:
+        Raise :class:`SpecViolationError` at the first Exclusion or
+        Synchronization violation, halting the scheduler at the offending
+        step (Progress is a finalize-time verdict and never early-stops).
+    window_size:
+        Number of trailing ``(index, configuration)`` frames retained for the
+        counterexample window.
+    stream, fairness:
+        Optional *shared* :class:`MeetingEventStream` /
+        :class:`StreamingFairnessMonitor` already driven by an upstream
+        observer in the same listener list (the
+        :class:`~repro.metrics.collector.StreamingMetricsCollector` exposes
+        both).  When given, the suite reads the stream's last scan instead of
+        re-scanning every committee, so metrics + spec checking together pay
+        the per-step meeting sweep once.  The driving observer must be
+        registered *before* this suite in the scheduler's ``step_listener``
+        sequence.
+
+    Attach via the scheduler's ``step_listener``; the suite consumes each
+    configuration exactly once and keeps O(n + m + window_size) state.
+
+    Mid-run fault injection caveat: like the dense post-hoc checkers on a
+    trace that contains mid-run corruption, the monitors attribute every
+    meeting transition to the observed stream — a meeting *fabricated* by
+    :meth:`~repro.kernel.faults.FaultInjector.corrupt_scheduler` is reported
+    as a convene (and, typically, as a Synchronization/Exclusion violation)
+    on both paths identically.  The paper's guarantee is scoped to meetings
+    convened *after the last fault*; to check snap-stabilization, attach a
+    fresh suite after the last injected fault (cf.
+    :func:`repro.spec.stabilization.snap_stabilization_sweep`, which starts
+    each checked computation from the arbitrary configuration).
+    """
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        *,
+        grace_steps: Optional[int] = None,
+        stop_on_violation: bool = False,
+        window_size: int = 8,
+        stream: Optional[MeetingEventStream] = None,
+        fairness: Optional[StreamingFairnessMonitor] = None,
+    ) -> None:
+        self.hypergraph = hypergraph
+        self.stop_on_violation = stop_on_violation
+        self._drives_stream = stream is None
+        self._stream = stream if stream is not None else MeetingEventStream(hypergraph)
+        self._counts_fairness = fairness is None
+        self.exclusion = StreamingExclusionMonitor()
+        self.synchronization = StreamingSynchronizationMonitor()
+        self.progress = StreamingProgressMonitor(hypergraph, grace_steps)
+        self.fairness = fairness if fairness is not None else StreamingFairnessMonitor(hypergraph)
+        self._safety_monitors = (self.exclusion, self.synchronization)
+        self._frames: Deque[Tuple[int, Configuration]] = deque(maxlen=window_size)
+        self._index = 0
+        self.first_violation: Optional[CounterexampleWindow] = None
+
+    @property
+    def configurations_observed(self) -> int:
+        return self._index
+
+    def observe_step(
+        self, configuration: Configuration, record: Optional[StepRecord] = None
+    ) -> None:
+        """Scheduler ``step_listener`` hook (``record`` is unused)."""
+        index = self._index
+        self._index += 1
+        if self._drives_stream:
+            events = self._stream.observe(configuration)
+        else:
+            # The stream was already driven this step by the upstream
+            # observer (e.g. the metrics collector); reuse its scan.  Guard
+            # the ordering invariant — reading a stale scan would silently
+            # shift every verdict by one configuration.
+            if self._stream.observations != self._index:
+                raise RuntimeError(
+                    "shared MeetingEventStream is out of sync (stream saw "
+                    f"{self._stream.observations} configurations, suite saw "
+                    f"{self._index}); the observer driving the stream must be "
+                    "registered before this suite in the scheduler's "
+                    "step_listener sequence"
+                )
+            events = self._stream.last_events
+        held = self._stream.held
+        self._frames.append((index, configuration))
+        if self._counts_fairness:
+            self.fairness.consume(events)
+        self.progress.observe(index, configuration, held, events)
+        # Let every safety monitor observe the committed step *before*
+        # raising, so post-halt verdicts stay dense-identical on the
+        # recorded prefix even when several properties break at once.
+        first_found: Optional[Violation] = None
+        for monitor in self._safety_monitors:
+            found = monitor.observe(index, configuration, held, events)
+            if found and first_found is None:
+                first_found = found[0]
+        if first_found is not None and self.first_violation is None:
+            self.first_violation = CounterexampleWindow(
+                violation=first_found, frames=tuple(self._frames)
+            )
+            if self.stop_on_violation:
+                raise SpecViolationError(self.first_violation)
+
+    def verdicts(self) -> SpecVerdicts:
+        """Dense-identical reports for the stream observed so far.
+
+        Callable at any point (also after an early stop); Progress is
+        rendered against the configurations observed so far, exactly as the
+        dense checker would render it for the recorded prefix.
+        """
+        n = self._index
+        return SpecVerdicts(
+            exclusion=self.exclusion.report(n),
+            synchronization=self.synchronization.report(n),
+            progress=self.progress.report(n),
+            fairness=self.fairness.summary(),
+            first_violation=self.first_violation,
+        )

@@ -8,7 +8,14 @@ from repro.workloads.request_models import (
     ScriptedEnvironment,
     SelectiveInfiniteMeetingEnvironment,
 )
-from repro.workloads.scenarios import Scenario, paper_scenarios, scaling_scenarios
+from repro.workloads.scenarios import (
+    Scenario,
+    all_scenarios,
+    paper_scenarios,
+    scaling_scenarios,
+    scenario_by_name,
+    stress_scenarios,
+)
 
 __all__ = [
     "AlwaysRequestingEnvironment",
@@ -18,6 +25,9 @@ __all__ = [
     "ScriptedEnvironment",
     "SelectiveInfiniteMeetingEnvironment",
     "Scenario",
+    "all_scenarios",
     "paper_scenarios",
     "scaling_scenarios",
+    "scenario_by_name",
+    "stress_scenarios",
 ]

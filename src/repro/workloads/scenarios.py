@@ -133,9 +133,41 @@ def scaling_scenarios(
     return scenarios
 
 
+def stress_scenarios() -> List[Scenario]:
+    """Production-ish sizes used by the streaming spec checkers and benches.
+
+    These are the topologies the sparse-run tooling (``repro-cc check
+    --sparse``, ``bench_streaming_spec``) exercises: big enough that
+    recording every configuration is off the table, structured enough that
+    the spec verdicts are interpretable.
+    """
+    return [
+        Scenario(
+            name="cycle-100",
+            hypergraph=cycle_of_committees(100),
+            description="cycle of 100 two-member committees (n=100, streaming-spec stress)",
+        ),
+        Scenario(
+            name="path-64",
+            hypergraph=path_of_committees(64),
+            description="path of 64 two-member committees (n=65)",
+        ),
+        Scenario(
+            name="grid-6x6",
+            hypergraph=grid_of_committees(6, 6),
+            description="6x6 grid, committees are dominoes (n=36)",
+        ),
+    ]
+
+
+def all_scenarios() -> List[Scenario]:
+    """Every named scenario: paper figures, scaling families, stress sizes."""
+    return paper_scenarios() + scaling_scenarios() + stress_scenarios()
+
+
 def scenario_by_name(name: str) -> Scenario:
-    """Look up a scenario by name among the paper and scaling scenarios."""
-    for scenario in paper_scenarios() + scaling_scenarios():
+    """Look up a scenario by name among all named scenarios."""
+    for scenario in all_scenarios():
         if scenario.name == name:
             return scenario
     raise KeyError(f"unknown scenario {name!r}")
