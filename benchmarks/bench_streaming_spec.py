@@ -8,9 +8,15 @@ bench quantifies the toll: ``CC2 ∘ TC`` on the ``cycle-100`` stress topology
 without a :class:`~repro.spec.streaming.StreamingSpecSuite` attached to the
 scheduler's observer hook.
 
-Acceptance: monitor overhead <= 10% of plain sparse throughput.  Each
-measurement is emitted as a JSON perf row (``benchmarks/perf_rows.jsonl``)
-so successive commits track both the plain and the monitored steps/sec.
+Acceptance: monitor overhead <= 6% of plain sparse throughput — below the
+~6-9% the monitors cost when they swept all ``n`` professors and ``m``
+committees every step, before the kernel's writer-set delta protocol
+(:class:`~repro.kernel.trace.StepDelta`) let them update in
+``O(|writers|)`` per step.  Each measurement takes the best of
+``MEASUREMENTS`` interleaved plain/monitored samples (wall-clock ratios of
+single short runs are jitter-dominated) and is emitted as a JSON perf row
+(``benchmarks/perf_rows.jsonl``) so successive commits track both the plain
+and the monitored steps/sec.
 
 A correctness guard re-runs a short monitored prefix against the dense
 post-hoc checkers before timing anything.
@@ -34,8 +40,11 @@ from repro.workloads.request_models import AlwaysRequestingEnvironment
 SCENARIO = "cycle-100"
 STEPS = 600
 SEED = 23
-#: Acceptance ceiling for the monitors' toll on sparse incremental throughput.
-MAX_OVERHEAD = 0.10
+#: Interleaved samples per kind; the best rate of each is compared.
+MEASUREMENTS = 3
+#: Acceptance ceiling for the monitors' toll on sparse incremental
+#: throughput (the pre-delta full-sweep monitors cost ~6-9% here).
+MAX_OVERHEAD = 0.06
 
 
 def _build_scheduler(monitored: bool) -> Tuple[Scheduler, Optional[StreamingSpecSuite]]:
@@ -79,7 +88,13 @@ def _assert_monitored_verdicts_correct(steps: int = 150) -> None:
 
 
 def run_overhead(perf_emit):
-    rates = {"plain": _measure(False), "monitored": _measure(True)}
+    # Interleave the two kinds and keep the best rate of each: the best-case
+    # sample is the least polluted by scheduler noise on a shared machine,
+    # and the *ratio* of bests is what the acceptance bound is about.
+    rates = {"plain": 0.0, "monitored": 0.0}
+    for _ in range(MEASUREMENTS):
+        rates["plain"] = max(rates["plain"], _measure(False))
+        rates["monitored"] = max(rates["monitored"], _measure(True))
     overhead = 1.0 - rates["monitored"] / rates["plain"]
     for kind, rate in rates.items():
         perf_emit(

@@ -119,6 +119,23 @@ class BaselineCoordinator(abc.ABC):
         self.meeting_of: Dict[ProcessId, Hyperedge] = {}
         self.remaining: Dict[Hyperedge, int] = {}
         self.round_index = 0
+        # Delta-driven eligibility (the round engine's analog of the
+        # scheduler's dirty-set protocol): instead of re-scanning every
+        # committee's full member list each round, maintain a per-committee
+        # count of waiting members, updated only when a professor's waiting
+        # status actually changes; a committee is eligible iff it is not in
+        # progress and its count equals its size (waiting and meeting are
+        # disjoint by construction, so "no member busy" is implied).
+        self._edge_index: Dict[Hyperedge, int] = {
+            e: i for i, e in enumerate(hypergraph.hyperedges)
+        }
+        self._incident: Dict[ProcessId, Tuple[Hyperedge, ...]] = {
+            p: hypergraph.incident_edges(p) for p in hypergraph.vertices
+        }
+        self._waiting_count: Dict[Hyperedge, int] = {
+            e: 0 for e in hypergraph.hyperedges
+        }
+        self._eligible: Set[Hyperedge] = set()
         # statistics
         self.per_professor: Dict[ProcessId, int] = {p: 0 for p in hypergraph.vertices}
         self.per_committee: Dict[Tuple[ProcessId, ...], int] = {
@@ -143,15 +160,37 @@ class BaselineCoordinator(abc.ABC):
     # ------------------------------------------------------------------ #
     # engine
     # ------------------------------------------------------------------ #
+    def _start_waiting(self, pid: ProcessId) -> None:
+        """Move ``pid`` into the waiting set, updating committee eligibility."""
+        if pid in self.waiting:
+            return
+        self.waiting.add(pid)
+        counts = self._waiting_count
+        for edge in self._incident[pid]:
+            counts[edge] += 1
+            if counts[edge] == edge.size and edge not in self.remaining:
+                self._eligible.add(edge)
+
+    def _stop_waiting(self, pid: ProcessId) -> None:
+        """Remove ``pid`` from the waiting set, updating committee eligibility."""
+        if pid not in self.waiting:
+            return
+        self.waiting.discard(pid)
+        counts = self._waiting_count
+        for edge in self._incident[pid]:
+            counts[edge] -= 1
+            self._eligible.discard(edge)
+
     def _eligible_committees(self) -> List[Hyperedge]:
-        busy = set(self.meeting_of)
-        eligible = []
-        for edge in self.hypergraph.hyperedges:
-            if edge in self.remaining:
-                continue
-            if all(member in self.waiting and member not in busy for member in edge):
-                eligible.append(edge)
-        return eligible
+        """Committees all of whose members wait, none busy, none in progress.
+
+        Served from the incrementally maintained eligible set (see
+        ``__init__``); only the hyperedge-order sort — required so policies
+        see candidates in the same deterministic order as the historical
+        full scan — touches more than the committees whose membership
+        actually changed.
+        """
+        return sorted(self._eligible, key=self._edge_index.__getitem__)
 
     def step_round(self) -> List[Hyperedge]:
         """Advance one round; returns the committees that convened."""
@@ -160,14 +199,15 @@ class BaselineCoordinator(abc.ABC):
             if pid in self.waiting or pid in self.meeting_of:
                 continue
             if self.request_probability >= 1.0 or self.rng.random() < self.request_probability:
-                self.waiting.add(pid)
+                self._start_waiting(pid)
 
         # 2. the policy convenes committees.
         eligible = self._eligible_committees()
+        eligible_set = self._eligible
         convened: List[Hyperedge] = []
         used: Set[ProcessId] = set(self.meeting_of)
         for edge in self.choose_committees(list(eligible)):
-            if edge not in eligible:
+            if edge not in eligible_set:
                 continue
             if any(member in used for member in edge):
                 continue
@@ -175,9 +215,10 @@ class BaselineCoordinator(abc.ABC):
             used.update(edge.members)
         for edge in convened:
             self.remaining[edge] = self.meeting_duration
+            self._eligible.discard(edge)
             self.per_committee[edge.members] += 1
             for member in edge:
-                self.waiting.discard(member)
+                self._stop_waiting(member)
                 self.meeting_of[member] = edge
                 self.per_professor[member] += 1
 
@@ -191,6 +232,10 @@ class BaselineCoordinator(abc.ABC):
             del self.remaining[edge]
             for member in edge:
                 self.meeting_of.pop(member, None)
+            # No eligibility update needed here: every member of the ended
+            # meeting is idle (not waiting), so the committee only becomes
+            # eligible again through ``_start_waiting`` in phase 1 of a
+            # later round.
 
         self.concurrency_profile.append(len(self.remaining))
         self.round_index += 1

@@ -181,9 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--token", default="tree", choices=["tree", "ring", "oracle"])
     run.add_argument(
         "--engine",
-        default="dense",
-        choices=["dense", "incremental"],
-        help="execution engine: reference double-sweep (dense) or copy-on-write + enabled-set reuse (incremental)",
+        default="incremental",
+        choices=["auto", "dense", "incremental"],
+        help="execution engine (default: incremental — copy-on-write + "
+        "delta-driven enabled-set reuse, trace-identical to the reference "
+        "double-sweep dense engine for any seed; 'auto' additionally falls "
+        "back to dense for environments with side-effecting guards, which "
+        "no CLI workload has)",
     )
     run.add_argument("--steps", type=int, default=2000)
     run.add_argument("--discussion", type=int, default=1)
@@ -202,8 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--engine",
         default="incremental",
-        choices=["dense", "incremental"],
-        help="execution engine (incremental by default: spec checking is the sparse-run workhorse)",
+        choices=["auto", "dense", "incremental"],
+        help="execution engine (default: incremental — spec checking is the "
+        "sparse-run workhorse; verdicts are identical on both engines)",
     )
     check.add_argument(
         "--steps",

@@ -20,7 +20,12 @@ import abc
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
-from repro.kernel.algorithm import Action, ActionContext, DistributedAlgorithm
+from repro.kernel.algorithm import (
+    Action,
+    ActionContext,
+    DistributedAlgorithm,
+    merge_read_dependency_variables,
+)
 from repro.kernel.configuration import Configuration
 from repro.core.composition import TokenBinding
 from repro.core.states import DONE, IDLE, LOOKING, POINTER, STATUS, TOKEN_FLAG, WAITING
@@ -60,6 +65,14 @@ class CommitteeAlgorithmBase(DistributedAlgorithm):
     # ------------------------------------------------------------------ #
     # dirty-set protocol (incremental scheduler engine)
     # ------------------------------------------------------------------ #
+    #: CC-layer variables the guards of a process read *of its neighbours*.
+    #: ``CC1`` guards scan statuses, pointers and token flags of committee
+    #: members; ``CC2``/``CC3`` additionally read the lock flag ``L`` and
+    #: override accordingly.  Everything else a guard reads of a neighbour
+    #: goes through the token module, which declares its own (prefixed)
+    #: variables via ``TokenBinding.read_dependency_variables``.
+    neighbour_guard_variables: Tuple[str, ...] = (STATUS, POINTER, TOKEN_FLAG)
+
     def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
         """Guards of ``pid`` read its ``G_H`` neighbourhood plus its token link.
 
@@ -68,12 +81,33 @@ class CommitteeAlgorithmBase(DistributedAlgorithm):
         ``pid`` — all of which lie in ``N(pid) ∪ {pid}`` — and the composed
         ``Token(p)`` predicate additionally reads the token module's
         variables of the module-declared link processes (the virtual-ring
-        predecessor for the Dijkstra substrates).
+        predecessor for the Dijkstra substrates).  See
+        :meth:`read_dependency_variables` for the variable-granular form the
+        incremental engine actually consumes.
         """
         deps = {pid}
         deps.update(self.hypergraph.neighbors(pid))
         deps.update(self.token.read_dependencies(pid))
         return tuple(sorted(deps))
+
+    def read_dependency_variables(
+        self, pid: ProcessId
+    ) -> Dict[ProcessId, Optional[Tuple[str, ...]]]:
+        """Variable-granular dependencies: CC variables of neighbours + token link.
+
+        Of a ``G_H`` neighbour the guards read only
+        :attr:`neighbour_guard_variables`; of the token-link processes only
+        the module's prefixed variables (e.g. ``tc_c`` of the ring
+        predecessor).  A neighbour updating its token-module counter
+        therefore no longer dirties the whole ``G_H`` neighbourhood — only
+        the counter's declared readers.  ``pid`` itself is a full dependency
+        (own-variable reads are ubiquitous).
+        """
+        return merge_read_dependency_variables(
+            {pid: None},
+            {q: self.neighbour_guard_variables for q in self.hypergraph.neighbors(pid)},
+            self.token.read_dependency_variables(pid),
+        )
 
     def environment_sensitive_processes(
         self, configuration: Configuration

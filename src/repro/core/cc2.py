@@ -44,6 +44,12 @@ class CC2Algorithm(CommitteeAlgorithmBase):
     #: incremental engine.
     environment_sensitive_statuses: Tuple[str, ...] = (DONE,)
 
+    #: ``CC2`` guards additionally read the lock flag ``L`` of neighbours
+    #: (``FreeEdges`` excludes locked processes), refining the per-variable
+    #: dirty protocol accordingly.  ``CC3`` inherits this: its round-robin
+    #: cursor ``R`` is read only by its owner's guards.
+    neighbour_guard_variables: Tuple[str, ...] = (STATUS, POINTER, TOKEN_FLAG, LOCK_FLAG)
+
     def __init__(self, hypergraph: Hypergraph, token: TokenBinding) -> None:
         super().__init__(hypergraph, token)
 

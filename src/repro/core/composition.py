@@ -105,6 +105,25 @@ class TokenBinding:
         """Processes whose (prefixed) variables ``Token(pid)`` may read."""
         return self.module.read_dependencies(pid)
 
+    def read_dependency_variables(
+        self, pid: ProcessId
+    ) -> Dict[ProcessId, "Sequence[str] | None"]:
+        """Variable-granular form of :meth:`read_dependencies`, prefixed.
+
+        The module declares its dependencies in its own (un-prefixed)
+        variable names; the binding maps them into the composed state's
+        namespace (``c`` becomes ``tc_c``) so the scheduler's inverse maps
+        match the names that actually appear in step deltas.
+        """
+        return {
+            source: (
+                None
+                if variables is None
+                else tuple(self.prefix + name for name in variables)
+            )
+            for source, variables in self.module.read_dependency_variables(pid).items()
+        }
+
     # ------------------------------------------------------------------ #
     # maintenance actions (fair composition)
     # ------------------------------------------------------------------ #

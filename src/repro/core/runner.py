@@ -99,11 +99,13 @@ class CommitteeCoordinator:
     seed:
         Seed for the daemon / arbitrary-configuration RNG.
     engine:
-        Execution engine: ``"dense"`` (default, the reference double-sweep
-        scheduler) or ``"incremental"`` (copy-on-write configurations plus
-        enabled-set reuse via the dirty-set protocol — identical traces for
-        a fixed seed under the deterministic request models, measurably
-        faster at scale; see :mod:`repro.kernel.scheduler`).
+        Execution engine: ``"incremental"`` (the default via ``None``/
+        ``"auto"`` — copy-on-write configurations plus enabled-set reuse via
+        the per-variable dirty-set protocol; identical traces for a fixed
+        seed, measurably faster at scale) or ``"dense"`` (the reference
+        double-sweep scheduler).  ``None``/``"auto"`` resolve per run: the
+        scheduler falls back to ``dense`` if the run's environment declares
+        ``deterministic_guards = False``.  See :mod:`repro.kernel.scheduler`.
     """
 
     def __init__(
@@ -113,12 +115,15 @@ class CommitteeCoordinator:
         token: str = "tree",
         daemon: str | Daemon = "weakly_fair",
         seed: Optional[int] = None,
-        engine: str = "dense",
+        engine: Optional[str] = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if engine is not None and engine != "auto" and engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES} "
+                "(or None/'auto' to pick automatically)"
+            )
         self.hypergraph = hypergraph
         self.algorithm_name = algorithm
         self.seed = seed

@@ -34,7 +34,7 @@ from repro.kernel.daemon import (
 )
 from repro.kernel.faults import FaultInjector, arbitrary_configuration
 from repro.kernel.scheduler import Scheduler, SchedulerResult, StepRecord, StopRun
-from repro.kernel.trace import Trace
+from repro.kernel.trace import StepDelta, Trace
 
 __all__ = [
     "Action",
@@ -53,6 +53,7 @@ __all__ = [
     "arbitrary_configuration",
     "Scheduler",
     "SchedulerResult",
+    "StepDelta",
     "StepRecord",
     "StopRun",
     "Trace",

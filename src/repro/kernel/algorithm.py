@@ -43,8 +43,11 @@ class Environment:
     #: (no RNG draws, no state mutation), so that evaluating a guard more or
     #: fewer times cannot change the run.  The incremental scheduler engine
     #: skips guard evaluations and therefore refuses environments that set
-    #: this to ``False`` (e.g. ``ProbabilisticRequestEnvironment``, which
-    #: memoises random draws during ``request_in``).
+    #: this to ``False`` when asked for explicitly; the default
+    #: ``engine=None``/``"auto"`` falls back to the dense engine instead.
+    #: Every environment in this library keeps it ``True`` — draw randomness
+    #: in :meth:`observe` (as ``ProbabilisticRequestEnvironment`` does) or in
+    #: ``reset``, never inside ``request_in``/``request_out``.
     deterministic_guards: bool = True
 
     def request_in(self, pid: ProcessId, configuration: Configuration) -> bool:
@@ -129,6 +132,36 @@ class ActionContext:
 
 Guard = Callable[[ActionContext], bool]
 Statement = Callable[[ActionContext], None]
+
+#: The value type of :meth:`DistributedAlgorithm.read_dependency_variables`:
+#: ``source process -> variables read`` (``None`` = any variable).
+ReadDependencyVariables = Mapping[ProcessId, Optional[Tuple[str, ...]]]
+
+
+def merge_read_dependency_variables(
+    *specs: ReadDependencyVariables,
+) -> Dict[ProcessId, Optional[Tuple[str, ...]]]:
+    """Union several variable-granular dependency maps.
+
+    Used by composed algorithms (CC layer + token module, election + token
+    circulation) whose guards read different variables of possibly the same
+    source processes.  A ``None`` entry ("any variable") absorbs explicit
+    variable tuples for that source.
+    """
+    merged: Dict[ProcessId, Optional[set]] = {}
+    for spec in specs:
+        for source, variables in spec.items():
+            if variables is None:
+                merged[source] = None
+                continue
+            current = merged.get(source, set())
+            if current is None:
+                continue  # already "any variable"
+            merged[source] = set(current) | set(variables)
+    return {
+        source: (None if variables is None else tuple(sorted(variables)))
+        for source, variables in merged.items()
+    }
 
 
 @dataclass(frozen=True)
@@ -225,17 +258,47 @@ class DistributedAlgorithm(abc.ABC):
     def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
         """Processes whose *variables* the guards of ``pid`` may read.
 
-        The incremental scheduler engine re-evaluates the guards of ``pid``
-        after a step only if some process in this set moved.  The default is
-        maximally conservative (every process), which makes the incremental
-        engine correct for any algorithm at the cost of re-evaluating
-        everything; algorithms with local guards (the committee coordination
-        layer reads its ``G_H`` neighbourhood plus its token link, the ring
-        modules read their ring predecessor) override this to unlock the
-        speed-up.  ``pid`` itself is always treated as a dependency by the
-        scheduler, whether or not it appears here.
+        This is the process-granular half of the dirty-set protocol: the
+        incremental scheduler engine re-evaluates the guards of ``pid`` after
+        a step only if some process in this set wrote a variable.  The
+        default is maximally conservative (every process), which makes the
+        incremental engine correct for any algorithm at the cost of
+        re-evaluating everything; algorithms with local guards (the committee
+        coordination layer reads its ``G_H`` neighbourhood plus its token
+        link, the ring modules read their ring predecessor) override this to
+        unlock the speed-up.  ``pid`` itself is always treated as a
+        dependency by the scheduler, whether or not it appears here.
+
+        For *variable*-granular invalidation — re-evaluate ``pid`` only when
+        specific variables of a source process change — override
+        :meth:`read_dependency_variables` instead; its default delegates to
+        this method.
         """
         return self.process_ids()
+
+    def read_dependency_variables(
+        self, pid: ProcessId
+    ) -> Mapping[ProcessId, Optional[Tuple[str, ...]]]:
+        """Variable-granular read dependencies of the guards of ``pid``.
+
+        Returns a mapping ``source process -> variable names read`` where
+        ``None`` means "any variable of that source" (process-granular).  The
+        incremental scheduler engine inverts this map at construction: after
+        a step it re-evaluates ``pid`` iff some step writer wrote a variable
+        ``pid`` declares here (matching against the step's
+        :class:`~repro.kernel.trace.StepDelta`).  This is strictly finer than
+        :meth:`read_dependencies` — e.g. the committee coordination layer
+        reads only ``S``/``P``/``T``(/``L``) of its hypergraph neighbours,
+        so a neighbour updating its token-module counter no longer dirties
+        the whole neighbourhood, only the counter's ring successor.
+
+        The default delegates to :meth:`read_dependencies` with ``None``
+        variables (process granularity), so algorithms that only declare the
+        coarse form keep working unchanged.  ``pid`` itself is always treated
+        as a full dependency by the scheduler regardless of what this
+        returns.
+        """
+        return {source: None for source in self.read_dependencies(pid)}
 
     def environment_sensitive_processes(
         self, configuration: Configuration

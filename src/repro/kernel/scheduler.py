@@ -16,25 +16,50 @@ configuration) or when a step/round/predicate bound is hit.
 
 Two execution engines are available (``engine=`` parameter):
 
-``"dense"`` (default)
+``"dense"``
     The reference engine: ``Enabled(γ)`` is recomputed from scratch before
     and after every step.  Byte-for-byte reproducible against historical
     seeds, and correct even for environments whose request predicates have
-    evaluation side effects (e.g. memoised random draws).
+    evaluation side effects.
 ``"incremental"``
     The post-step enabled map of step ``k`` is cached and reused as the
     pre-step map of step ``k+1``; after a step only the processes whose
+    declared read dependencies intersect the step's writer set are
+    re-evaluated — at **variable** granularity via
+    :meth:`~repro.kernel.algorithm.DistributedAlgorithm.read_dependency_variables`
+    (with
     :meth:`~repro.kernel.algorithm.DistributedAlgorithm.read_dependencies`
-    intersect the step's writers are re-evaluated, and between steps only the
+    as the process-granular fallback) — and between steps only the
     :meth:`~repro.kernel.algorithm.DistributedAlgorithm.environment_sensitive_processes`
     are refreshed (the environment advances in ``observe`` after the map was
     cached).  Produces traces identical to the dense engine for any fixed
     seed, provided guard evaluation is side-effect free.  Environments that
-    violate this declare ``deterministic_guards = False``
-    (``ProbabilisticRequestEnvironment`` draws RNG during guard evaluation)
-    and are rejected by the incremental engine at construction time; every
-    other environment in this library, including the default
-    ``AlwaysRequestingEnvironment``, qualifies.
+    violate this declare ``deterministic_guards = False`` and are rejected
+    by the incremental engine at construction time; every environment in
+    this library qualifies (``ProbabilisticRequestEnvironment`` memoises its
+    random draws in ``observe``, outside guard evaluation).
+
+The **default** is ``engine=None`` (equivalently ``"auto"``): the scheduler
+picks ``incremental`` unless the environment declares
+``deterministic_guards = False``, in which case it falls back to ``dense``
+instead of raising — so third-party environments with side-effecting guards
+keep working without naming an engine.
+
+The delta protocol
+------------------
+
+Every committed step's :class:`~repro.kernel.trace.StepRecord` carries a
+:class:`~repro.kernel.trace.StepDelta`: the exact ``(process, variable)``
+writes the step applied, stamped with the scheduler's *configuration epoch*
+(:attr:`Scheduler.epoch`).  The epoch starts at 0 and is bumped by every
+external configuration swap — :meth:`Scheduler.set_configuration`, and hence
+:meth:`~repro.kernel.faults.FaultInjector.corrupt_scheduler`.  Observers that
+maintain incremental state over the configuration stream (the streaming spec
+monitors, streaming metrics) apply the delta in ``O(|writers|)`` per step
+while the epoch is unchanged, and resynchronize from the full configuration
+when it changes ("the world was swapped under me").  The incremental engine's
+own enabled-map cache is invalidated through the same
+:meth:`Scheduler.set_configuration` path.
 """
 
 from __future__ import annotations
@@ -45,9 +70,11 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 from repro.kernel.algorithm import ActionContext, DistributedAlgorithm, Environment
 from repro.kernel.configuration import Configuration, ProcessId
 from repro.kernel.daemon import Daemon, default_daemon
-from repro.kernel.trace import StepRecord, Trace
+from repro.kernel.trace import StepDelta, StepRecord, Trace
 
-#: Valid values of the ``engine`` parameter.
+#: Concrete execution engines (the ``engine`` parameter also accepts ``None``
+#: or ``"auto"``, which resolve to ``incremental`` unless the environment
+#: declares ``deterministic_guards = False``).
 ENGINES = ("dense", "incremental")
 
 #: Signature of a scheduler observer (see ``Scheduler`` ``step_listener``).
@@ -114,13 +141,17 @@ class Scheduler:
         :class:`~repro.metrics.collector.StreamingMetricsCollector`) to
         compute trace metrics online instead.
     engine:
-        ``"dense"`` (default) or ``"incremental"``; see the module docstring.
+        ``"dense"``, ``"incremental"``, or ``None``/``"auto"`` (the default):
+        pick ``incremental`` unless the environment declares
+        ``deterministic_guards = False``, then fall back to ``dense``.  See
+        the module docstring.
     step_listener:
         Optional observer — a callable or a sequence of callables — invoked
         as ``listener(configuration, record)``: once at construction with the
         initial configuration and ``record=None``, then after every step with
-        the new configuration and its :class:`StepRecord`.  This is the
-        observer protocol shared by
+        the new configuration and its :class:`StepRecord` (whose ``delta``
+        carries the step's exact writer set and the configuration epoch).
+        This is the observer protocol shared by
         :class:`~repro.metrics.collector.StreamingMetricsCollector` and the
         streaming spec monitors
         (:class:`~repro.spec.streaming.StreamingSpecSuite`); any number of
@@ -135,13 +166,22 @@ class Scheduler:
         daemon: Optional[Daemon] = None,
         initial_configuration: Optional[Configuration] = None,
         record_configurations: bool = True,
-        engine: str = "dense",
+        engine: Optional[str] = None,
         step_listener: Optional[Union[StepListener, Sequence[StepListener]]] = None,
     ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.algorithm = algorithm
         self.environment = environment if environment is not None else Environment()
+        if engine is None or engine == "auto":
+            engine = (
+                "incremental"
+                if getattr(self.environment, "deterministic_guards", True)
+                else "dense"
+            )
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES} "
+                "(or None/'auto' to pick automatically)"
+            )
         if engine == "incremental" and not getattr(
             self.environment, "deterministic_guards", True
         ):
@@ -163,6 +203,11 @@ class Scheduler:
         )
         self.record_configurations = record_configurations
         self.engine = engine
+        #: Configuration epoch: bumped by every external configuration swap
+        #: (:meth:`set_configuration`), stamped onto every step's
+        #: :class:`~repro.kernel.trace.StepDelta` so observers can tell
+        #: "delta applies" from "world swapped under me".
+        self.epoch = 0
         self.trace = Trace(self.configuration)
         self.step_index = 0
         # Round bookkeeping: the set of processes enabled at the start of the
@@ -177,18 +222,30 @@ class Scheduler:
             self._step_listeners = list(step_listener)
         # Incremental engine state: the cached enabled map (valid for the
         # current configuration, modulo environment drift handled in
-        # ``_current_enabled``) and the inverse dependency map
-        # writer -> processes whose guards read the writer's variables.
+        # ``_current_enabled``) and the inverse dependency maps
+        #   writer              -> processes reading *any* of its variables,
+        #   (writer, variable)  -> processes reading exactly that variable,
+        # built from ``read_dependency_variables`` (whose default delegates
+        # to the process-granular ``read_dependencies``).
         self._enabled_cache: Optional[Dict[ProcessId, Any]] = None
-        self._dependents: Optional[Dict[ProcessId, FrozenSet[ProcessId]]] = None
+        self._proc_dependents: Optional[Dict[ProcessId, FrozenSet[ProcessId]]] = None
+        self._var_dependents: Optional[
+            Dict[Tuple[ProcessId, str], FrozenSet[ProcessId]]
+        ] = None
         if engine == "incremental":
-            dependents: Dict[ProcessId, Set[ProcessId]] = {
+            proc: Dict[ProcessId, Set[ProcessId]] = {
                 pid: {pid} for pid in algorithm.process_ids()
             }
+            var: Dict[Tuple[ProcessId, str], Set[ProcessId]] = {}
             for pid in algorithm.process_ids():
-                for source in algorithm.read_dependencies(pid):
-                    dependents.setdefault(source, set()).add(pid)
-            self._dependents = {q: frozenset(ps) for q, ps in dependents.items()}
+                for source, variables in algorithm.read_dependency_variables(pid).items():
+                    if variables is None:
+                        proc.setdefault(source, set()).add(pid)
+                    else:
+                        for name in variables:
+                            var.setdefault((source, name), set()).add(pid)
+            self._proc_dependents = {q: frozenset(ps) for q, ps in proc.items()}
+            self._var_dependents = {key: frozenset(ps) for key, ps in var.items()}
         # Let stateful environments see the initial configuration.
         self.environment.observe(self.configuration, -1)
         for listener in self._step_listeners:
@@ -214,8 +271,15 @@ class Scheduler:
     def invalidate_enabled_cache(self) -> None:
         """Drop the incremental engine's cached enabled map.
 
-        Call after mutating ``self.configuration`` (or the environment) from
-        outside the scheduler, e.g. when injecting mid-run faults.
+        This only protects the engine's *own* cache.  Never use it as the
+        hook for an external configuration swap — route those through
+        :meth:`set_configuration`, which also bumps the configuration
+        :attr:`epoch` so delta-driven observers (streaming spec monitors,
+        metrics) resynchronize; replacing ``self.configuration`` directly
+        and calling only this method would leave them applying deltas
+        against a world they never saw.  Calling it on its own is only
+        appropriate after mutating the *environment* in a way that changes
+        guard outcomes between steps.
         """
         self._enabled_cache = None
 
@@ -224,13 +288,18 @@ class Scheduler:
 
         This is the supported way to model a mid-run transient fault burst
         (see :meth:`repro.kernel.faults.FaultInjector.corrupt_scheduler`): the
-        new configuration becomes the source of the next step and the
-        incremental engine's cached enabled map is invalidated, so guards are
-        re-evaluated against the corrupted state instead of the stale cache.
-        Round bookkeeping is kept — the pending set is pruned against the
-        fresh enabled map on the next step anyway.
+        new configuration becomes the source of the next step, the
+        incremental engine's cached enabled map is invalidated (guards are
+        re-evaluated against the corrupted state instead of the stale cache),
+        and the configuration :attr:`epoch` is bumped — so delta-driven
+        observers see the epoch change on the next step's
+        :class:`~repro.kernel.trace.StepDelta` and resynchronize from the
+        full configuration instead of applying the delta to a world they
+        never saw.  Round bookkeeping is kept — the pending set is pruned
+        against the fresh enabled map on the next step anyway.
         """
         self.configuration = configuration
+        self.epoch += 1
         self.invalidate_enabled_cache()
 
     def _current_enabled(self) -> Dict[ProcessId, Any]:
@@ -266,17 +335,26 @@ class Scheduler:
 
         Dense engine: a full sweep.  Incremental engine: start from the
         pre-step map and re-evaluate only the processes whose declared read
-        dependencies intersect the step's writers — for everyone else neither
-        the variables their guards read nor the environment changed, so their
-        enabledness is unchanged by construction.
+        dependencies intersect the step's writes — matched per *variable*
+        where the algorithm declares variable-granular dependencies
+        (``read_dependency_variables``), per process otherwise.  For everyone
+        else neither the variables their guards read nor the environment
+        changed, so their enabledness is unchanged by construction.
         """
-        if self.engine == "dense" or self._dependents is None:
+        if self.engine == "dense" or self._proc_dependents is None:
             return self.algorithm.enabled_processes(new_configuration, self.environment)
         after = dict(enabled_map)
         dirty: Set[ProcessId] = set()
+        proc_dependents = self._proc_dependents
+        var_dependents = self._var_dependents or {}
         for writer, written in writers.items():
-            if written:  # executed but wrote nothing: γ' is unchanged for its dependents
-                dirty |= self._dependents.get(writer, frozenset((writer,)))
+            if not written:  # executed but wrote nothing: γ' is unchanged for its dependents
+                continue
+            dirty.update(proc_dependents.get(writer, (writer,)))
+            for name in written:
+                readers = var_dependents.get((writer, name))
+                if readers:
+                    dirty.update(readers)
         for pid in dirty:
             action = self.algorithm.enabled_action(pid, new_configuration, self.environment)
             if action is None:
@@ -335,6 +413,14 @@ class Scheduler:
             enabled_before=frozenset(enabled_ids),
             neutralized=neutralized,
             round_index=self.round_index,
+            delta=StepDelta(
+                writes={
+                    pid: tuple(sorted(written))
+                    for pid, written in writes.items()
+                    if written
+                },
+                epoch=self.epoch,
+            ),
         )
 
         # Advance round bookkeeping *after* stamping the record: the step is

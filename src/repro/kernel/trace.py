@@ -15,6 +15,57 @@ from repro.kernel.configuration import Configuration, ProcessId
 
 
 @dataclass(frozen=True)
+class StepDelta:
+    """The writer set of one committed step, stamped with the configuration epoch.
+
+    This is the kernel's *delta protocol*: every step record produced by the
+    scheduler carries the exact ``(process, variable)`` writes the step
+    applied, so downstream consumers — the incremental engine's dirty-set,
+    the streaming spec monitors, streaming metrics — can update their state
+    in ``O(|writers|)`` instead of re-scanning all ``n`` processes.
+
+    Attributes
+    ----------
+    writes:
+        Map from each process that wrote at least one variable to the sorted
+        tuple of variable names it wrote.  Processes that executed an action
+        but wrote nothing are omitted (``γ'`` is identical to ``γ`` for them).
+    epoch:
+        The scheduler's *configuration epoch* at the time the step committed.
+        The epoch starts at 0 and is bumped by every external configuration
+        swap (:meth:`~repro.kernel.scheduler.Scheduler.set_configuration`,
+        and therefore
+        :meth:`~repro.kernel.faults.FaultInjector.corrupt_scheduler`).  An
+        observer that caches state derived from earlier configurations must
+        compare epochs: *same epoch* ⇒ every variable whose value differs
+        between the previously observed configuration and this one appears
+        in the delta (entries may additionally include same-value rewrites —
+        a statement that writes a variable's current value back is still
+        recorded, so treat entries as invalidation candidates, not as proof
+        of change); *epoch changed* ⇒ the world was swapped under the
+        observer between steps and it must resynchronize from the full
+        configuration.
+    """
+
+    writes: Mapping[ProcessId, Tuple[str, ...]]
+    epoch: int
+
+    @property
+    def writers(self) -> Tuple[ProcessId, ...]:
+        """The processes that wrote at least one variable, in sorted order."""
+        return tuple(sorted(self.writes))
+
+    def wrote(self, pid: ProcessId, *variables: str) -> bool:
+        """``True`` iff ``pid`` wrote any of ``variables`` (any variable if empty)."""
+        written = self.writes.get(pid)
+        if written is None:
+            return False
+        if not variables:
+            return True
+        return any(v in written for v in variables)
+
+
+@dataclass(frozen=True)
 class StepRecord:
     """Metadata about one step ``γ_i -> γ_{i+1}``.
 
@@ -33,6 +84,11 @@ class StepRecord:
         longer enabled after it (the paper's *neutralization*).
     round_index:
         Index of the round this step belongs to (0-based).
+    delta:
+        The step's :class:`StepDelta` (exact writer set + configuration
+        epoch).  Always populated by the scheduler; ``None`` only for
+        hand-constructed records (old tests, synthetic traces), in which case
+        delta consumers fall back to their full-scan path.
     """
 
     index: int
@@ -41,6 +97,7 @@ class StepRecord:
     enabled_before: FrozenSet[ProcessId]
     neutralized: FrozenSet[ProcessId]
     round_index: int
+    delta: Optional[StepDelta] = None
 
 
 class Trace:

@@ -101,8 +101,15 @@ class StreamingMetricsCollector:
     def observe_step(
         self, configuration: Configuration, record: Optional[StepRecord] = None
     ) -> None:
-        """Scheduler ``step_listener`` hook (``record`` is unused)."""
-        self._fairness.consume(self._stream.observe(configuration))
+        """Scheduler ``step_listener`` hook.
+
+        Forwards the record's :class:`~repro.kernel.trace.StepDelta` to the
+        meeting-event stream so the per-step committee sweep runs in
+        ``O(|writers|)`` (see :class:`~repro.spec.events.MeetingEventStream`);
+        a missing record/delta falls back to the full sweep.
+        """
+        delta = record.delta if record is not None else None
+        self._fairness.consume(self._stream.observe(configuration, delta))
         held = self._stream.current_meetings
         self._profile_sum += held
         self._profile_count += 1

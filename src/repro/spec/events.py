@@ -14,12 +14,12 @@ These are the Section 4.2 definitions, applied to recorded configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.states import DONE, IDLE, LOOKING, POINTER, STATUS, WAITING
 from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
 from repro.kernel.configuration import Configuration
-from repro.kernel.trace import Trace
+from repro.kernel.trace import StepDelta, Trace
 
 
 def committee_meets(configuration: Configuration, edge: Hyperedge) -> bool:
@@ -64,19 +64,52 @@ class MeetingEventStream:
     the same order, as :func:`meeting_events` over the full trace).  Used by
     the streaming metrics collector so sparse runs
     (``record_configurations=False``) never need the dense trace.
+
+    **Delta fast path.**  When :meth:`observe` is also given the step's
+    :class:`~repro.kernel.trace.StepDelta` (every scheduler-produced
+    :class:`~repro.kernel.trace.StepRecord` carries one), only the committees
+    incident to processes that wrote ``S`` or ``P`` are re-examined —
+    ``O(|writers| · Δ)`` instead of the ``O(n + m)`` full sweep, with
+    byte-identical events: a committee *meets* as a function of its members'
+    statuses and pointers alone, so a committee none of whose members wrote
+    either variable cannot have changed.  The fast path self-disables (full
+    resync) whenever the delta's configuration epoch differs from the last
+    applied one — i.e. after
+    :meth:`~repro.kernel.scheduler.Scheduler.set_configuration` /
+    :meth:`~repro.kernel.faults.FaultInjector.corrupt_scheduler` swapped the
+    world between steps — and whenever no delta is supplied (dense post-hoc
+    replays, hand-fed configurations).
+
+    The stream also maintains the *conflict set* — ordered pairs of
+    currently-held committees that share a member — so the streaming
+    Exclusion monitor checks ``O(1)`` per step in the (normal) conflict-free
+    case instead of scanning all held pairs.
     """
 
     def __init__(self, hypergraph: Hypergraph) -> None:
         self._edges = hypergraph.hyperedges
+        self._edge_order: Dict[Hyperedge, int] = {
+            edge: i for i, edge in enumerate(self._edges)
+        }
+        self._incident: Dict[ProcessId, Tuple[Hyperedge, ...]] = {
+            p: hypergraph.incident_edges(p) for p in hypergraph.vertices
+        }
         self._previous: Dict[Hyperedge, bool] = {}
+        self._held_by_member: Dict[ProcessId, set] = {}
+        self._conflicts: set = set()
+        self._held_cache: Optional[Tuple[Hyperedge, ...]] = ()
+        self._held_count = 0
         self._index = 0
+        self._epoch: Optional[int] = None
+        #: ``True`` iff the most recent :meth:`observe` swept every committee
+        #: (first observation, no delta, or epoch change).  Observers that
+        #: keep their own delta-derived state (the streaming Progress
+        #: monitor's status watermarks) resynchronize exactly when this is
+        #: set.
+        self.last_scan_was_full = True
         #: Number of committees meeting in the most recently observed
         #: configuration (the online concurrency profile sample).
         self.current_meetings = 0
-        #: The committees meeting in the most recently observed configuration,
-        #: in hyperedge order — the streaming counterpart of
-        #: :func:`meetings_in` (used by the streaming spec monitors).
-        self.held: Tuple[Hyperedge, ...] = ()
         #: The events returned by the most recent :meth:`observe` call, so a
         #: second observer sharing this stream (e.g. a spec suite riding the
         #: metrics collector's stream) can read them without re-scanning.
@@ -87,15 +120,100 @@ class MeetingEventStream:
         """Number of configurations observed so far (shared-stream sync check)."""
         return self._index
 
-    def observe(self, configuration: Configuration) -> List[MeetingEvent]:
+    @property
+    def held(self) -> Tuple[Hyperedge, ...]:
+        """The committees meeting in the most recently observed configuration.
+
+        In hyperedge order — the streaming counterpart of
+        :func:`meetings_in`.  Materialized lazily (and cached until the held
+        set changes): the delta-driven monitors never touch it on the hot
+        path, so steps that change no meeting pay nothing for it.
+        """
+        if self._held_cache is None:
+            self._held_cache = tuple(
+                edge for edge in self._edges if self._previous.get(edge, False)
+            )
+        return self._held_cache
+
+    def conflict_pairs(self) -> List[Tuple[Hyperedge, Hyperedge]]:
+        """Currently-held intersecting committee pairs, in dense checker order.
+
+        Each pair is ordered by hyperedge position, and the list is sorted the
+        way :func:`repro.spec.properties.exclusion_violations_at` enumerates
+        held pairs, so violations built from it are byte-identical to the
+        dense checker's.  Empty (the overwhelmingly common case) is O(1).
+        """
+        if not self._conflicts:
+            return []
+        order = self._edge_order
+        return sorted(self._conflicts, key=lambda pair: (order[pair[0]], order[pair[1]]))
+
+    # ------------------------------------------------------------------ #
+    # held-set bookkeeping (flips)
+    # ------------------------------------------------------------------ #
+    def _flip_on(self, edge: Hyperedge) -> None:
+        self._held_count += 1
+        self._held_cache = None
+        order = self._edge_order
+        for q in edge.members:
+            others = self._held_by_member.setdefault(q, set())
+            for other in others:
+                pair = (
+                    (other, edge) if order[other] < order[edge] else (edge, other)
+                )
+                self._conflicts.add(pair)
+            others.add(edge)
+
+    def _flip_off(self, edge: Hyperedge) -> None:
+        self._held_count -= 1
+        self._held_cache = None
+        for q in edge.members:
+            others = self._held_by_member.get(q)
+            if others is not None:
+                others.discard(edge)
+        if self._conflicts:
+            self._conflicts = {pair for pair in self._conflicts if edge not in pair}
+
+    # ------------------------------------------------------------------ #
+    # the stream
+    # ------------------------------------------------------------------ #
+    def observe(
+        self, configuration: Configuration, delta: Optional["StepDelta"] = None
+    ) -> List[MeetingEvent]:
         events: List[MeetingEvent] = []
         first = self._index == 0
-        held: List[Hyperedge] = []
+        use_delta = (
+            delta is not None
+            and not first
+            and self._epoch is not None
+            and delta.epoch == self._epoch
+        )
+        self._epoch = delta.epoch if delta is not None else None
+        self.last_scan_was_full = not use_delta
+        if use_delta:
+            # Only committees with a member that wrote S or P can have
+            # changed their meeting status; everything else keeps its flag.
+            candidates: List[Hyperedge] = []
+            seen: set = set()
+            incident = self._incident
+            for pid, written in delta.writes.items():
+                if STATUS not in written and POINTER not in written:
+                    continue
+                for edge in incident.get(pid, ()):
+                    if edge not in seen:
+                        seen.add(edge)
+                        candidates.append(edge)
+            # Events must come out in hyperedge order, like the full sweep's.
+            candidates.sort(key=self._edge_order.__getitem__)
+            edges = candidates
+        else:
+            edges = self._edges
         # Inlined committee_meets over the zero-copy state view: this runs
-        # once per hyperedge per step on sparse multi-million-step runs, so
-        # the per-variable accessor cost matters.
+        # per candidate committee per step on sparse multi-million-step runs,
+        # so the per-variable accessor cost matters.
         states = configuration.states_view()
-        for edge in self._edges:
+        previous = self._previous
+        for edge in edges:
             now = True
             for q in edge.members:
                 state = states[q]
@@ -107,17 +225,17 @@ class MeetingEventStream:
                 if status != WAITING and status != DONE:
                     now = False
                     break
-            if now:
-                held.append(edge)
-            if not first:
-                before = self._previous[edge]
-                if now and not before:
+            before = previous.get(edge, False)
+            if now and not before:
+                if not first:
                     events.append(MeetingEvent("convene", edge, self._index))
-                elif before and not now:
+                self._flip_on(edge)
+            elif before and not now:
+                if not first:
                     events.append(MeetingEvent("terminate", edge, self._index))
-            self._previous[edge] = now
-        self.held = tuple(held)
-        self.current_meetings = len(held)
+                self._flip_off(edge)
+            previous[edge] = now
+        self.current_meetings = self._held_count
         self.last_events = events
         self._index += 1
         return events

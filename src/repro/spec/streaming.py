@@ -45,13 +45,30 @@ Parity contract with the dense checkers, monitor by monitor:
   violations consequently never trigger the early stop — only the safety
   monitors (Exclusion, Synchronization) do.
 * **Fairness** — convene-event counting, shared with the metrics collector.
+
+**Cost per step.**  As of the kernel's writer-set delta protocol
+(:class:`~repro.kernel.trace.StepDelta`), the suite updates from each step's
+exact ``(process, variable)`` writes in ``O(|writers|)`` amortized per step:
+the shared :class:`~repro.spec.events.MeetingEventStream` re-examines only
+committees incident to a process that wrote ``S`` or ``P``, the Exclusion
+monitor consults the stream's (normally empty) conflict set, and the
+Progress monitor updates its watermarks from status flips and
+convene/terminate events instead of sweeping every professor.  The suite
+falls back to the original ``O(n + m)`` full sweep exactly when the delta
+cannot be trusted: the first observation, records without a delta
+(hand-driven streams), and — crucially — whenever the delta's configuration
+*epoch* differs from the last applied one, which is how the kernel signals
+an external configuration swap
+(:meth:`~repro.kernel.scheduler.Scheduler.set_configuration`,
+:meth:`~repro.kernel.faults.FaultInjector.corrupt_scheduler`) between steps.
+Verdicts are byte-identical on every path.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.states import LOOKING, POINTER, STATUS, WAITING
 from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
@@ -130,7 +147,20 @@ class SpecViolationError(StopRun):
 # individual monitors
 # --------------------------------------------------------------------------- #
 class StreamingPropertyMonitor:
-    """Base class: consumes per-configuration deltas, accumulates violations."""
+    """Base class: consumes per-configuration observations, accumulates violations.
+
+    Safety monitors implement :meth:`observe` (full-information: the held
+    meetings of the configuration) and may additionally provide an
+    ``observe_stream(index, configuration, events, stream)`` fast path that
+    reads the shared :class:`~repro.spec.events.MeetingEventStream` instead
+    of a materialized held tuple; the suite prefers the fast path when
+    present and falls back to :meth:`observe` for third-party monitors.
+
+    :class:`StreamingProgressMonitor` is *not* a safety monitor (its verdict
+    is finalize-time only) and deliberately does not implement this
+    signature — its ``observe(index, configuration, events, writers)`` is
+    the suite's delta-driven hook; see its docstring.
+    """
 
     name: str = "Property"
 
@@ -178,21 +208,51 @@ class StreamingExclusionMonitor(StreamingPropertyMonitor):
         super().__init__()
         self._armed = False
 
-    def observe(self, index, configuration, held, events):
+    def _arm_on_convene(self, events) -> bool:
         if not self._armed and any(e.kind == "convene" for e in events):
             # The first convene: from this configuration (inclusive) onward
             # every pair of held meetings must be conflict-free — exactly the
             # dense checker's ``start = min(convene_indices)``.
             self._armed = True
-        if not self._armed:
+        return self._armed
+
+    def observe(self, index, configuration, held, events):
+        """Full-held path: scan all pairs of the materialized held tuple."""
+        if not self._arm_on_convene(events):
             return []
         found = exclusion_violations_at(index, held)
         self._details.extend(found)
         return found
 
+    def observe_stream(self, index, configuration, events, stream):
+        """Delta path: read the stream's conflict set — O(1) when conflict-free.
+
+        The stream maintains the intersecting pairs among currently-held
+        committees across flips, so in the (normal) conflict-free steady
+        state this costs one empty-set check per step instead of an
+        all-pairs scan of the held meetings.  Pairs come out in the dense
+        checker's enumeration order, so accumulated violations stay
+        byte-identical.
+        """
+        if not self._arm_on_convene(events):
+            return []
+        pairs = stream.conflict_pairs()
+        if not pairs:
+            return []
+        found: List[Violation] = []
+        for a, b in pairs:
+            found.extend(exclusion_violations_at(index, (a, b)))
+        self._details.extend(found)
+        return found
+
 
 class StreamingSynchronizationMonitor(StreamingPropertyMonitor):
-    """Online counterpart of :func:`repro.spec.properties.check_synchronization`."""
+    """Online counterpart of :func:`repro.spec.properties.check_synchronization`.
+
+    Already event-driven — the check runs only on convene events — so the
+    delta fast path (:meth:`observe_stream`) just skips the unused held
+    tuple.
+    """
 
     name = "Synchronization"
 
@@ -206,6 +266,9 @@ class StreamingSynchronizationMonitor(StreamingPropertyMonitor):
         self._details.extend(found)
         return found
 
+    def observe_stream(self, index, configuration, events, stream):
+        return self.observe(index, configuration, (), events)
+
 
 class StreamingProgressMonitor(StreamingPropertyMonitor):
     """Online counterpart of :func:`repro.spec.properties.check_progress`.
@@ -216,32 +279,95 @@ class StreamingProgressMonitor(StreamingPropertyMonitor):
     watermarks of every member predate the final grace window, which is
     exactly the dense tail-window condition.  Being a liveness rendering,
     the verdict is only available at :meth:`finalize`.
+
+    The watermarks are maintained in ``O(|writers|)`` per step: a professor's
+    waiting-ness can only flip when it writes its status ``S`` (tracked from
+    the step delta's writer set; a full rescan happens exactly when the
+    shared stream full-scans, i.e. on the first observation, delta-less
+    records, and configuration-epoch changes), and meeting participation is
+    tracked from terminate events plus — for meetings still held when the
+    verdict is rendered — the stream's current held set.  Not-waiting
+    professors carry an *implicit* current watermark (their last-not-waiting
+    index is "now"); :meth:`finalize` materializes it, so the reports stay
+    byte-identical to the dense checker's at any observation point.
     """
 
     name = "Progress"
 
-    def __init__(self, hypergraph: Hypergraph, grace_steps: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        grace_steps: Optional[int] = None,
+        *,
+        stream: MeetingEventStream,
+    ) -> None:
         super().__init__()
         if grace_steps is not None and grace_steps < 1:
             # Fail at construction, not after a multi-million-step run.
             raise ValueError(f"grace_steps must be >= 1, got {grace_steps!r}")
+        if stream is None:
+            # The finalize-time "still meeting" credit comes from the
+            # stream's held set; without it the monitor would silently
+            # report false violations for meetings held through the window.
+            raise ValueError(
+                "StreamingProgressMonitor requires the MeetingEventStream "
+                "whose events it consumes (StreamingSpecSuite wires this up)"
+            )
         self._hypergraph = hypergraph
         self._grace_steps = grace_steps
+        self._stream = stream
+        # Is the professor currently problem-level waiting (status looking or
+        # waiting)?  While False, its last-not-waiting watermark is
+        # implicitly the current index; the stored value is only
+        # authoritative while True.
+        self._waiting: Dict[ProcessId, bool] = {p: False for p in hypergraph.vertices}
         self._last_not_waiting: Dict[ProcessId, int] = {
             p: -1 for p in hypergraph.vertices
         }
         self._last_met: Dict[ProcessId, int] = {p: -1 for p in hypergraph.vertices}
 
-    def observe(self, index, configuration, held, events):
-        last_not_waiting = self._last_not_waiting
+    def _update_waiting(self, pid: ProcessId, status: object, index: int) -> None:
+        if status == LOOKING or status == WAITING:
+            if not self._waiting[pid]:
+                # Entered the waiting state in this configuration: the last
+                # not-waiting index is the previous one (-1 before γ_0),
+                # exactly what the dense per-configuration sweep recorded.
+                self._last_not_waiting[pid] = index - 1
+                self._waiting[pid] = True
+        else:
+            self._waiting[pid] = False
+
+    def observe(
+        self,
+        index: int,
+        configuration: Configuration,
+        events: Sequence[MeetingEvent],
+        writers: Optional[Mapping[ProcessId, Tuple[str, ...]]] = None,
+    ) -> List[Violation]:
+        """Consume ``γ_index``.
+
+        ``writers`` is the step delta's writer map when the incremental path
+        applies (only those professors can have flipped their status);
+        ``None`` forces a full status rescan — first observation, delta-less
+        record, or epoch change.
+        """
         states = configuration.states_view()
-        for pid in last_not_waiting:
-            status = states[pid].get(STATUS)
-            if status != LOOKING and status != WAITING:
-                last_not_waiting[pid] = index
-        for edge in held:
-            for member in edge.members:
-                self._last_met[member] = index
+        if writers is None:
+            for pid in self._waiting:
+                self._update_waiting(pid, states[pid].get(STATUS), index)
+        else:
+            for pid, written in writers.items():
+                if STATUS in written and pid in self._waiting:
+                    self._update_waiting(pid, states[pid].get(STATUS), index)
+        last_met = self._last_met
+        for event in events:
+            if event.kind == "terminate":
+                # The meeting was held up to (and including) the previous
+                # configuration; members still meeting now are covered by the
+                # stream's held set at finalize time.
+                for member in event.committee:
+                    if last_met[member] < index - 1:
+                        last_met[member] = index - 1
         return []
 
     def finalize(self, n_configurations: int) -> List[Violation]:
@@ -249,13 +375,28 @@ class StreamingProgressMonitor(StreamingPropertyMonitor):
         if window is None:
             return []
         start = n_configurations - window
+        last_index = n_configurations - 1
+        # Materialize the implicit watermarks: not-waiting professors are
+        # not-waiting *now*, members of still-held meetings are meeting now.
+        meeting_now: set = set()
+        for edge in self._stream.held:
+            meeting_now.update(edge.members)
+        waiting = self._waiting
+        last_not_waiting = self._last_not_waiting
+        last_met = self._last_met
         found: List[Violation] = []
         for edge in self._hypergraph.hyperedges:
-            if max(self._last_not_waiting[q] for q in edge) >= start:
+            if any(
+                (last_index if not waiting[q] else last_not_waiting[q]) >= start
+                for q in edge
+            ):
                 continue  # some member left the waiting state inside the window
-            if max(self._last_met[q] for q in edge) >= start:
+            if any(
+                (last_index if q in meeting_now else last_met[q]) >= start
+                for q in edge
+            ):
                 continue  # some member participated in a meeting inside the window
-            found.append(progress_violation(edge, window, n_configurations - 1))
+            found.append(progress_violation(edge, window, last_index))
         return found
 
 
@@ -385,7 +526,9 @@ class StreamingSpecSuite:
         self._counts_fairness = fairness is None
         self.exclusion = StreamingExclusionMonitor()
         self.synchronization = StreamingSynchronizationMonitor()
-        self.progress = StreamingProgressMonitor(hypergraph, grace_steps)
+        self.progress = StreamingProgressMonitor(
+            hypergraph, grace_steps, stream=self._stream
+        )
         self.fairness = fairness if fairness is not None else StreamingFairnessMonitor(hypergraph)
         self._safety_monitors = (self.exclusion, self.synchronization)
         self._frames: Deque[Tuple[int, Configuration]] = deque(maxlen=window_size)
@@ -399,11 +542,18 @@ class StreamingSpecSuite:
     def observe_step(
         self, configuration: Configuration, record: Optional[StepRecord] = None
     ) -> None:
-        """Scheduler ``step_listener`` hook (``record`` is unused)."""
+        """Scheduler ``step_listener`` hook.
+
+        ``record``'s :class:`~repro.kernel.trace.StepDelta` (when present)
+        drives the ``O(|writers|)`` fast path; a missing record/delta or a
+        configuration-epoch change falls back to the full ``O(n + m)`` sweep
+        with identical verdicts.
+        """
         index = self._index
         self._index += 1
+        delta = record.delta if record is not None else None
         if self._drives_stream:
-            events = self._stream.observe(configuration)
+            events = self._stream.observe(configuration, delta)
         else:
             # The stream was already driven this step by the upstream
             # observer (e.g. the metrics collector); reuse its scan.  Guard
@@ -418,17 +568,31 @@ class StreamingSpecSuite:
                     "step_listener sequence"
                 )
             events = self._stream.last_events
-        held = self._stream.held
+        # The stream decided full-vs-delta (it owns the epoch bookkeeping);
+        # the Progress monitor's status watermarks must resync exactly when
+        # the stream full-scanned.
+        writers = (
+            None
+            if delta is None or self._stream.last_scan_was_full
+            else delta.writes
+        )
         self._frames.append((index, configuration))
         if self._counts_fairness:
             self.fairness.consume(events)
-        self.progress.observe(index, configuration, held, events)
+        self.progress.observe(index, configuration, events, writers)
         # Let every safety monitor observe the committed step *before*
         # raising, so post-halt verdicts stay dense-identical on the
         # recorded prefix even when several properties break at once.
         first_found: Optional[Violation] = None
         for monitor in self._safety_monitors:
-            found = monitor.observe(index, configuration, held, events)
+            stream_hook = getattr(monitor, "observe_stream", None)
+            if stream_hook is not None:
+                found = stream_hook(index, configuration, events, self._stream)
+            else:
+                # Third-party monitor with the full-information signature:
+                # materialize the held tuple for it (lazy + cached, so this
+                # only costs when such a monitor is actually installed).
+                found = monitor.observe(index, configuration, self._stream.held, events)
             if found and first_found is None:
                 first_found = found[0]
         if first_found is not None and self.first_violation is None:

@@ -31,10 +31,15 @@ unique circulating token.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph, ProcessId
-from repro.kernel.algorithm import Action, ActionContext, DistributedAlgorithm
+from repro.kernel.algorithm import (
+    Action,
+    ActionContext,
+    DistributedAlgorithm,
+    merge_read_dependency_variables,
+)
 from repro.kernel.configuration import Configuration
 from repro.tokenring.leader_election import DISTANCE, LEADER, SelfStabilizingLeaderElection
 
@@ -112,6 +117,19 @@ class ComposedTokenCirculation(DistributedAlgorithm):
         deps = {pid, self._pred[pid]}
         deps.update(self.hypergraph.neighbors(pid))
         return tuple(sorted(deps))
+
+    def read_dependency_variables(
+        self, pid: ProcessId
+    ) -> Dict[ProcessId, Optional[Tuple[str, ...]]]:
+        """Per variable: ``T`` reads ``c`` of the ring predecessor (plus its own
+        leader belief to decide root-vs-non-root); ``Elect`` reads the claims
+        ``(lid, d)`` of the ``G_H`` neighbours.  A neighbour passing the token
+        therefore no longer re-evaluates ``pid``'s election guard unless it is
+        also the ring predecessor."""
+        return merge_read_dependency_variables(
+            {pid: None, self._pred[pid]: (COUNTER,)},
+            {q: (LEADER, DISTANCE) for q in self.hypergraph.neighbors(pid)},
+        )
 
     def environment_sensitive_processes(self, configuration) -> Tuple[ProcessId, ...]:
         return ()  # neither guard consults the environment

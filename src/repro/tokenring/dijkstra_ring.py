@@ -144,6 +144,17 @@ class DijkstraRingToken(TokenModule):
         """``Token(p)`` reads only ``p``'s counter and its ring predecessor's."""
         return (pid, self._pred[pid])
 
+    def read_dependency_variables(
+        self, pid: ProcessId
+    ) -> Dict[ProcessId, Optional[Tuple[str, ...]]]:
+        """``Token(p)`` reads exactly the counter ``c`` of ``p`` and its predecessor.
+
+        Declaring the variable (not just the process) means a composed CC
+        layer is re-evaluated for its ring successor only when a process
+        writes ``c`` (token release), not on every status/pointer move.
+        """
+        return {pid: (COUNTER,), self._pred[pid]: (COUNTER,)}
+
 
 class DijkstraRingAlgorithm(DistributedAlgorithm):
     """Standalone version of the ring with the explicit pass action ``T``.
@@ -181,6 +192,11 @@ class DijkstraRingAlgorithm(DistributedAlgorithm):
     # -- dirty-set protocol (incremental scheduler engine) ---------------- #
     def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
         return self.module.read_dependencies(pid)
+
+    def read_dependency_variables(
+        self, pid: ProcessId
+    ) -> Dict[ProcessId, Optional[Tuple[str, ...]]]:
+        return self.module.read_dependency_variables(pid)
 
     def environment_sensitive_processes(self, configuration) -> Tuple[ProcessId, ...]:
         return ()  # the ``T`` guard never consults the environment

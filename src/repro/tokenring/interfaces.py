@@ -17,7 +17,7 @@ A token module contributes
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Dict, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.kernel.algorithm import Action, ActionContext
 from repro.kernel.configuration import ProcessId
@@ -69,6 +69,19 @@ class TokenModule(abc.ABC):
         only the ring predecessor and override accordingly.
         """
         return self.process_ids()
+
+    def read_dependency_variables(
+        self, pid: ProcessId
+    ) -> Dict[ProcessId, Optional[Tuple[str, ...]]]:
+        """Variable-granular read dependencies, in *un-prefixed* module names.
+
+        ``source -> variable names`` with ``None`` meaning "any module
+        variable of that source"; the composition prefixes the names before
+        handing them to the scheduler.  The default delegates to
+        :meth:`read_dependencies` at process granularity; the ring modules
+        override this to declare exactly the counter of the ring predecessor.
+        """
+        return {source: None for source in self.read_dependencies(pid)}
 
     # ------------------------------------------------------------------ #
     # diagnostics shared by implementations

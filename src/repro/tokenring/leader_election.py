@@ -24,7 +24,7 @@ identifier is the unique process satisfying ``IsLeader``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernel.algorithm import Action, ActionContext, DistributedAlgorithm
@@ -107,6 +107,15 @@ class SelfStabilizingLeaderElection(DistributedAlgorithm):
     def read_dependencies(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
         """The ``Elect`` guard reads the claims of ``pid`` and its ``G_H`` neighbours."""
         return (pid,) + tuple(self._neighbors[pid])
+
+    def read_dependency_variables(
+        self, pid: ProcessId
+    ) -> Dict[ProcessId, Optional[Tuple[str, ...]]]:
+        """Per variable: only the claims ``(lid, d)`` of the neighbours matter."""
+        spec: Dict[ProcessId, Optional[Tuple[str, ...]]] = {pid: None}
+        for q in self._neighbors[pid]:
+            spec[q] = (LEADER, DISTANCE)
+        return spec
 
     def environment_sensitive_processes(self, configuration) -> Tuple[ProcessId, ...]:
         return ()  # election guards never consult the environment

@@ -106,19 +106,25 @@ class AlwaysRequestingEnvironment(_DoneCounterMixin, Environment):
 class ProbabilisticRequestEnvironment(_DoneCounterMixin, Environment):
     """Bernoulli ``RequestIn``; finite meetings.
 
-    Each time an idle professor is polled, it requests a meeting with
-    probability ``request_probability``.  The draw is memoised per (pid,
-    "idle spell") so that the predicate does not flap within a spell, which
-    keeps executions realistic while remaining weakly fair at the problem
-    level (each professor has infinitely many chances to request).
+    An idle professor requests a meeting with probability
+    ``request_probability``.  The draw is memoised per (pid, "idle spell") so
+    that the predicate does not flap within a spell, which keeps executions
+    realistic while remaining weakly fair at the problem level (each
+    professor has infinitely many chances to request).
 
-    Because the draw happens *during guard evaluation*, evaluating a guard
-    more or fewer times changes the RNG stream: this environment is not
-    compatible with the incremental scheduler engine (which skips guard
-    evaluations) and declares so via ``deterministic_guards``.
+    The draws happen in :meth:`observe` — once per idle spell, in sorted
+    process order, *outside* guard evaluation — so evaluating a guard more
+    or fewer times cannot touch the RNG stream.  ``request_in`` is therefore
+    a pure read of the memoised decision and the environment declares
+    ``deterministic_guards = True``: it is fully compatible with the
+    incremental scheduler engine (dense and incremental runs of the same
+    seed produce identical traces).  Historical note: this environment used
+    to draw lazily *inside* ``request_in`` and was rejected by the
+    incremental engine; traces of old seeds are not comparable across that
+    change.
     """
 
-    deterministic_guards = False
+    deterministic_guards = True
 
     def __init__(
         self,
@@ -140,15 +146,20 @@ class ProbabilisticRequestEnvironment(_DoneCounterMixin, Environment):
 
     def observe(self, configuration: Configuration, step_index: int) -> None:
         super().observe(configuration, step_index)
-        # A professor that left the idle state gets a fresh draw next spell.
+        # Memoise the requests for the *next* guard sweep: professors that
+        # left the idle state get a fresh draw next spell; idle professors
+        # without a memoised decision draw now, in sorted process order (the
+        # scheduler observes the initial configuration at construction, so
+        # draws exist before the first guard is ever evaluated).
+        pending = self._pending
         for pid in configuration:
             if configuration.get(pid, STATUS) != "idle":
-                self._pending.pop(pid, None)
+                pending.pop(pid, None)
+            elif pid not in pending:
+                pending[pid] = self._rng.random() < self._p
 
     def request_in(self, pid: ProcessId, configuration: Configuration) -> bool:
-        if pid not in self._pending:
-            self._pending[pid] = self._rng.random() < self._p
-        return self._pending[pid]
+        return self._pending.get(pid, False)
 
     def request_out(self, pid: ProcessId, configuration: Configuration) -> bool:
         return self.done_steps(pid) >= self._discussion_steps

@@ -74,6 +74,34 @@ class TestCommonBehaviour:
         assert {"rounds", "meetings", "meetings/round", "mean_conc", "peak_conc", "min_part", "jain"} <= set(row)
 
 
+@pytest.mark.parametrize("coordinator_cls", ALL_BASELINES)
+class TestDeltaDrivenEligibility:
+    """The round engine maintains committee eligibility incrementally (per
+    waiting-status change) instead of re-scanning every member list each
+    round; the maintained set must always equal the brute-force definition."""
+
+    @staticmethod
+    def _brute_force_eligible(coordinator):
+        busy = set(coordinator.meeting_of)
+        return [
+            edge
+            for edge in coordinator.hypergraph.hyperedges
+            if edge not in coordinator.remaining
+            and all(m in coordinator.waiting and m not in busy for m in edge)
+        ]
+
+    @pytest.mark.parametrize("probability", [1.0, 0.4])
+    def test_matches_brute_force_every_round(self, coordinator_cls, probability):
+        coordinator = coordinator_cls(
+            figure2_hypergraph(), request_probability=probability, seed=6
+        )
+        for _ in range(120):
+            coordinator.step_round()
+            assert coordinator._eligible_committees() == self._brute_force_eligible(
+                coordinator
+            )
+
+
 class TestEngineParameters:
     def test_invalid_meeting_duration(self):
         with pytest.raises(ValueError):

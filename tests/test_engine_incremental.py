@@ -83,16 +83,59 @@ class TestEngineEquivalence:
             Scheduler(_CountUp(2, 2), engine="turbo")
 
     def test_incremental_rejects_side_effecting_guards(self):
-        # ProbabilisticRequestEnvironment draws RNG during guard evaluation;
-        # the incremental engine skips evaluations, so the combination must be
-        # refused loudly instead of silently diverging from the dense engine.
-        from repro.workloads.request_models import ProbabilisticRequestEnvironment
+        # An environment that draws RNG during guard evaluation declares
+        # deterministic_guards=False; the incremental engine skips guard
+        # evaluations, so asking for it explicitly must be refused loudly
+        # instead of silently diverging from the dense engine.
+        from repro.kernel.algorithm import Environment
 
-        env = ProbabilisticRequestEnvironment(request_probability=0.5, seed=1)
+        class _SideEffecting(Environment):
+            deterministic_guards = False
+
+        env = _SideEffecting()
         with pytest.raises(ValueError, match="deterministic_guards"):
             Scheduler(_CountUp(2, 2), environment=env, engine="incremental")
         # The dense engine keeps accepting it.
         Scheduler(_CountUp(2, 2), environment=env, engine="dense")
+
+    def test_default_engine_is_incremental_with_dense_fallback(self):
+        # The default (engine=None / "auto") resolves to incremental for
+        # side-effect-free environments and silently falls back to dense for
+        # environments that declare deterministic_guards=False.
+        from repro.kernel.algorithm import Environment
+
+        assert Scheduler(_CountUp(2, 2)).engine == "incremental"
+        assert Scheduler(_CountUp(2, 2), engine="auto").engine == "incremental"
+
+        class _SideEffecting(Environment):
+            deterministic_guards = False
+
+        assert Scheduler(_CountUp(2, 2), environment=_SideEffecting()).engine == "dense"
+
+    def test_probabilistic_environment_memoises_outside_guards(self):
+        # The memoised ProbabilisticRequestEnvironment draws in observe(),
+        # outside guard evaluation: it now declares deterministic_guards and
+        # produces identical traces on both engines for a fixed seed.
+        from repro.workloads.request_models import ProbabilisticRequestEnvironment
+
+        assert ProbabilisticRequestEnvironment.deterministic_guards
+
+        def run(engine: str):
+            coordinator = CommitteeCoordinator(
+                figure1_hypergraph(), algorithm="cc1", seed=5, engine=engine
+            )
+            return coordinator.run(
+                max_steps=300,
+                environment=ProbabilisticRequestEnvironment(
+                    request_probability=0.4, discussion_steps=2, seed=17
+                ),
+            )
+
+        dense = run("dense")
+        incremental = run("incremental")
+        assert tuple(dense.trace.steps) == tuple(incremental.trace.steps)
+        assert dense.final == incremental.final
+        assert dense.metrics == incremental.metrics
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,67 @@
+"""Tier-1 wiring for ``tools/check_repo.py``.
+
+Runs the repo hygiene checks as part of the ordinary test suite so that
+tracked ``.pyc`` files, broken ``docs/`` links/module references, and
+``docs/CLI.md`` flag drift against ``repro.cli`` fail CI, not a reader.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_repo():
+    spec = importlib.util.spec_from_file_location(
+        "check_repo", REPO_ROOT / "tools" / "check_repo.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_repo = _load_check_repo()
+
+
+def test_no_tracked_bytecode():
+    assert check_repo.check_no_tracked_bytecode() == []
+
+
+def test_docs_links_and_module_references_resolve():
+    assert check_repo.check_doc_links() == []
+
+
+def test_cli_docs_match_parser():
+    assert check_repo.check_cli_docs() == []
+
+
+def test_checks_catch_drift():
+    # The flag checker must actually bite: an undocumented-but-real flag set
+    # and a documented-but-fake flag both surface as errors.
+    flags = check_repo._parser_flags()
+    assert "--stop-on-violation" in flags["check"]
+    assert "--engine" in flags["run"]
+    # Flag completeness is per subcommand section: --engine appearing only
+    # in the check section must still flag the run section as incomplete.
+    sections = check_repo._subcommand_sections(
+        "## `repro-cc run`\n\nsome text, no flags\n\n"
+        "## `repro-cc check`\n\n| `--engine` | ... |\n"
+    )
+    assert "--engine" in sections["check"] and "--engine" not in sections["run"]
+    assert not check_repo._module_resolves("repro.does_not_exist")
+    assert check_repo._module_resolves("repro")  # bare package name
+    assert check_repo._module_resolves("repro.kernel.scheduler")
+    assert check_repo._module_resolves("repro.kernel.trace")
+    # Class-qualified references resolve through the attribute fallback ...
+    assert check_repo._module_resolves("repro.kernel.trace.StepDelta")
+    assert check_repo._module_resolves("repro.kernel.StepDelta")
+    assert check_repo._module_resolves("repro.kernel.scheduler.Scheduler")
+    # ... and typos in either half still fail.
+    assert not check_repo._module_resolves("repro.kernel.trace.StepDeltaX")
+    assert not check_repo._module_resolves("repro.kernel.tracee.StepDelta")
+    # The docs regex captures class-qualified names so they are validated.
+    assert "repro.kernel.trace.StepDelta" in check_repo._MODULE_RE.findall(
+        "see `repro.kernel.trace.StepDelta` for details"
+    )

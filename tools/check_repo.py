@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Repo hygiene checks, tier-1-safe (fast, no network, no state mutation).
+
+Three checks, each returning a list of human-readable error strings:
+
+* ``check_no_tracked_bytecode`` — no ``.pyc`` / ``__pycache__`` entries ever
+  re-enter the git index (they were purged once; ``.gitignore`` keeps new
+  ones out of ``git add .``, this check keeps them out of force-adds);
+* ``check_doc_links`` — every relative markdown link in ``README.md`` and
+  ``docs/*.md`` resolves to an existing file, and every backticked
+  ``repro.foo.bar`` dotted name names an importable module (or an attribute
+  of one), so the architecture tables cannot drift from the package layout;
+* ``check_cli_docs`` — ``docs/CLI.md`` documents every ``--flag`` of the
+  ``repro-cc run``/``check`` subcommands and mentions no flag the parser
+  does not define, introspected live from ``repro.cli.build_parser()``.
+
+Run standalone (``python tools/check_repo.py``, exit 1 on failure) or from
+the test suite (``tests/test_repo_checks.py`` calls :func:`run_checks`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+SRC_DIR = REPO_ROOT / "src"
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+#: Dotted package paths, optionally class/function-qualified:
+#: `repro.kernel.trace`, `repro.kernel.trace.StepDelta`, `repro.kernel.StopRun`.
+_MODULE_RE = re.compile(
+    r"`(repro(?:\.[a-z_][a-z_0-9]*)*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)`"
+)
+_FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def _doc_files() -> List[Path]:
+    docs = [REPO_ROOT / "README.md"]
+    if DOCS_DIR.is_dir():
+        docs.extend(sorted(DOCS_DIR.glob("*.md")))
+    return [d for d in docs if d.is_file()]
+
+
+# --------------------------------------------------------------------------- #
+# 1. no tracked bytecode
+# --------------------------------------------------------------------------- #
+def check_no_tracked_bytecode() -> List[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except OSError:
+        return []  # no git binary (e.g. an sdist install): nothing to verify
+    except subprocess.CalledProcessError as exc:
+        stderr = (exc.stderr or "").strip()
+        if "not a git repository" in stderr.lower():
+            return []  # genuinely not a checkout: nothing to verify
+        # Any other git failure (dubious ownership, corruption, ...) must
+        # surface, not silently pass the check in exactly the automated
+        # environments it exists to protect.
+        return [f"git ls-files failed ({exc.returncode}): {stderr or 'no stderr'}"]
+    return [
+        f"tracked bytecode artefact (git rm --cached it): {path}"
+        for path in proc.stdout.splitlines()
+        if path.endswith(".pyc") or "__pycache__" in path
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# 2. docs: relative links + module references
+# --------------------------------------------------------------------------- #
+def _module_resolves(dotted: str) -> bool:
+    """``True`` iff ``dotted`` is an importable module or an attribute of one.
+
+    Tries the full dotted path as a module first, then successively shorter
+    prefixes (``find_spec`` raising because a prefix is a plain module, not a
+    package, just means "try shorter"); a trailing remainder must then be a
+    real attribute of the longest importable prefix — so
+    ``repro.kernel.trace``, ``repro.kernel.trace.StepDelta`` and
+    ``repro.kernel.StopRun`` all resolve, while any typo in either the
+    module path or the attribute name fails.
+    """
+    if str(SRC_DIR) not in sys.path:
+        sys.path.insert(0, str(SRC_DIR))
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:cut])
+        try:
+            spec = importlib.util.find_spec(candidate)
+        except (ImportError, ValueError):
+            continue  # a prefix is a non-package module: try shorter
+        if spec is None:
+            continue
+        remainder = parts[cut:]
+        if not remainder:
+            return True
+        if len(remainder) > 1:
+            return False
+        module = importlib.import_module(candidate)
+        return hasattr(module, remainder[0])
+    return False
+
+
+def check_doc_links() -> List[str]:
+    errors: List[str] = []
+    for doc in _doc_files():
+        text = doc.read_text(encoding="utf-8")
+        rel = doc.relative_to(REPO_ROOT)
+        for target in _LINK_RE.findall(text):
+            target = target.split("#", 1)[0].strip()
+            if not target or "://" in target or target.startswith("mailto:"):
+                continue
+            if not (doc.parent / target).exists():
+                errors.append(f"{rel}: broken relative link -> {target}")
+        for dotted in sorted(set(_MODULE_RE.findall(text))):
+            if not _module_resolves(dotted):
+                errors.append(f"{rel}: unknown module reference `{dotted}`")
+        for bench in sorted(set(re.findall(r"benchmarks/bench_[a-z0-9_]+\.py", text))):
+            if not (REPO_ROOT / bench).is_file():
+                errors.append(f"{rel}: unknown benchmark reference {bench}")
+    return errors
+
+
+# --------------------------------------------------------------------------- #
+# 3. CLI flags documented in docs/CLI.md
+# --------------------------------------------------------------------------- #
+def _parser_flags() -> Dict[str, Set[str]]:
+    """``subcommand -> set of --option strings`` from the live parser."""
+    if str(SRC_DIR) not in sys.path:
+        sys.path.insert(0, str(SRC_DIR))
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    return {
+        name: {
+            option
+            for action in sub._actions
+            for option in action.option_strings
+            if option.startswith("--")
+        }
+        for name, sub in subparsers.choices.items()
+    }
+
+
+def _subcommand_sections(text: str) -> Dict[str, str]:
+    """``command -> section body`` for each ``## `repro-cc <cmd>` `` heading."""
+    sections: Dict[str, str] = {}
+    matches = list(re.finditer(r"^## `repro-cc ([a-z]+)`", text, re.MULTILINE))
+    for i, match in enumerate(matches):
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        sections[match.group(1)] = text[match.end() : end]
+    return sections
+
+
+def check_cli_docs() -> List[str]:
+    doc = DOCS_DIR / "CLI.md"
+    if not doc.is_file():
+        return ["docs/CLI.md is missing"]
+    text = doc.read_text(encoding="utf-8")
+    flags = _parser_flags()
+    documented = set(_FLAG_RE.findall(text))
+    real = {"--help"}.union(*flags.values())
+    errors = [
+        f"docs/CLI.md names a flag the CLI does not define: {flag}"
+        for flag in sorted(documented - real)
+    ]
+    # Flag completeness is checked per subcommand *section*, not file-wide:
+    # a flag documented under `check` must not silence a missing row under
+    # `run` — and every subcommand the parser defines is held to it.
+    sections = _subcommand_sections(text)
+    for command in sorted(flags):
+        section_flags = set(_FLAG_RE.findall(sections.get(command, "")))
+        for flag in sorted(flags[command] - section_flags - {"--help"}):
+            errors.append(
+                f"docs/CLI.md section `repro-cc {command}` does not document "
+                f"its flag {flag}"
+            )
+    for command in flags:
+        if f"repro-cc {command}" not in text:
+            errors.append(f"docs/CLI.md does not mention subcommand `repro-cc {command}`")
+    return errors
+
+
+# --------------------------------------------------------------------------- #
+# driver
+# --------------------------------------------------------------------------- #
+CHECKS: List[Callable[[], List[str]]] = [
+    check_no_tracked_bytecode,
+    check_doc_links,
+    check_cli_docs,
+]
+
+
+def run_checks() -> List[str]:
+    errors: List[str] = []
+    for check in CHECKS:
+        errors.extend(check())
+    return errors
+
+
+def main() -> int:
+    errors = run_checks()
+    for error in errors:
+        print(f"check_repo: {error}", file=sys.stderr)
+    if errors:
+        print(f"check_repo: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("check_repo: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
