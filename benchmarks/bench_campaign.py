@@ -1,0 +1,96 @@
+"""Campaign parallel scaling: worker-pool throughput vs the serial driver.
+
+The campaign engine (:mod:`repro.campaign`) fans seeded runs out across
+``multiprocessing`` workers; this bench quantifies the scaling on a fixed
+seeded matrix (≥24 jobs) and records one JSON perf row per worker count so
+`perf_rows.jsonl` accumulates the campaign-throughput trajectory alongside
+the engine and monitor rows.
+
+Two invariants are asserted:
+
+* the aggregate JSONL rows are **byte-identical** for every worker count
+  (the campaign's determinism contract), and
+* with at least 4 usable cores, ``jobs=4`` is ≥ 2.5x faster wall-clock than
+  ``jobs=1``.  On smaller machines (CI containers are often pinned to one
+  core) the speedup assertion is skipped — parallel scaling is a hardware
+  property — while the determinism assertion always runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.campaign import CampaignSpec, FaultSchedule, run_campaign
+
+#: 3 scenarios x 2 algorithms x 2 seeds x 2 fault schedules = 24 jobs.
+MATRIX = CampaignSpec(
+    scenarios=("figure1", "grid-3x3", "path-6"),
+    algorithms=("cc1", "cc2"),
+    seeds=(1, 2),
+    faults=(FaultSchedule(), FaultSchedule(every=60, fraction=0.4)),
+    max_steps=1500,
+)
+MIN_PARALLEL_SPEEDUP = 2.5
+PARALLEL_JOBS = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_scaling(perf_emit):
+    rows = []
+    results = {}
+    for jobs in (1, PARALLEL_JOBS):
+        result = run_campaign(MATRIX, jobs=jobs)
+        results[jobs] = result
+        perf_emit(
+            {
+                "bench": "campaign_scaling",
+                "jobs": jobs,
+                "runs": len(result.results),
+                "total_steps": result.total_steps,
+                "seconds": round(result.elapsed_seconds, 3),
+                "runs_per_sec": round(len(result.results) / result.elapsed_seconds, 2),
+            }
+        )
+        rows.append(
+            {
+                "workers": jobs,
+                "runs": len(result.results),
+                "violations": result.violations,
+                "wall s": round(result.elapsed_seconds, 2),
+                "steps/s": round(result.steps_per_sec, 1),
+            }
+        )
+    return rows, results
+
+
+def test_campaign_scaling(report, perf_row):
+    rows, results = run_scaling(perf_row)
+    report("Campaign scaling: 24-job seeded matrix, 1 vs 4 workers", rows)
+    serial, parallel = results[1], results[PARALLEL_JOBS]
+    # Determinism is asserted unconditionally — byte-identical JSONL.
+    assert serial.jsonl_lines() == parallel.jsonl_lines()
+    cores = _usable_cores()
+    if cores >= PARALLEL_JOBS:
+        speedup = serial.elapsed_seconds / parallel.elapsed_seconds
+        assert speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"campaign with {PARALLEL_JOBS} workers only {speedup:.2f}x faster "
+            f"than serial on {cores} cores; expected >= {MIN_PARALLEL_SPEEDUP}x"
+        )
+    else:
+        print(
+            f"\n(campaign speedup assertion skipped: only {cores} usable "
+            f"core(s); determinism asserted)"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual perf runs
+    from conftest import emit, emit_json_row
+
+    table, _ = run_scaling(emit_json_row)
+    emit("Campaign scaling", table)

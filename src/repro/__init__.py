@@ -14,7 +14,9 @@ Devismes, Petit; IPDPS 2011 / JPDC 2016) describes or depends on:
 * executable specification checkers (:mod:`repro.spec`) and metrics
   (:mod:`repro.metrics`),
 * workloads, analytical bounds and reporting (:mod:`repro.workloads`,
-  :mod:`repro.analysis`).
+  :mod:`repro.analysis`),
+* the parallel campaign engine fanning seeded scenario matrices across
+  worker processes (:mod:`repro.campaign`).
 
 Quickstart::
 
@@ -54,14 +56,16 @@ from repro.tokenring import (
     TreeTokenCirculation,
 )
 from repro.analysis import bounds_for
+from repro.campaign import CampaignSpec, FaultSchedule, run_campaign
 from repro.spec import (
     CounterexampleWindow,
     SpecVerdicts,
     SpecViolationError,
     StreamingSpecSuite,
 )
+from repro.workloads import RandomScenarioSpec, random_scenario, random_scenarios
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Hyperedge",
@@ -88,9 +92,15 @@ __all__ = [
     "SelfStabilizingLeaderElection",
     "TreeTokenCirculation",
     "bounds_for",
+    "CampaignSpec",
+    "FaultSchedule",
+    "run_campaign",
     "CounterexampleWindow",
     "SpecVerdicts",
     "SpecViolationError",
     "StreamingSpecSuite",
+    "RandomScenarioSpec",
+    "random_scenario",
+    "random_scenarios",
     "__version__",
 ]

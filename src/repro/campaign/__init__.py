@@ -1,0 +1,43 @@
+"""Campaign engine: seeded scenario matrices fanned out across processes.
+
+One run can now be verified cheaply (streaming monitors over sparse traces);
+the paper's claims are statements over *families* of topologies, daemons and
+fault schedules.  This package turns a declarative matrix —
+scenarios × algorithms × engines × daemons × fault schedules × seeds, where
+a scenario is a named one from :mod:`repro.workloads.scenarios` *or* a
+randomized one from :mod:`repro.workloads.random_scenarios` — into seeded
+:class:`~repro.campaign.jobs.RunJob` objects, executes them across
+``multiprocessing`` workers with the streaming spec suite (2-phase
+discussion included) and metrics collector attached, and aggregates per-run
+verdicts/metrics/throughput into JSONL rows plus a summary table.
+
+Rows are **deterministic**: a campaign's JSONL output is byte-identical for
+any worker count (timing lives outside the rows unless explicitly asked
+for), so campaign outputs diff cleanly across commits.
+
+Layers: ``matrix`` (the declarative spec and its expansion), ``jobs`` (the
+picklable run job + the spawn-safe worker entry point), ``runner`` (the
+pool driver and aggregation).  The CLI front end is ``repro-cc campaign``.
+"""
+
+from repro.campaign.jobs import JobResult, RunJob, execute_job
+from repro.campaign.matrix import CampaignSpec, FaultSchedule, expand_jobs
+from repro.campaign.runner import CampaignResult, run_campaign
+
+#: Dotted names handed to ``multiprocessing`` workers.  ``tools/check_repo.py``
+#: verifies each is a module-top-level callable that pickle round-trips —
+#: i.e. resolvable from a spawn context — so a refactor cannot silently break
+#: ``repro-cc campaign --jobs N``.
+SPAWN_ENTRY_POINTS = ("repro.campaign.jobs.execute_job",)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "FaultSchedule",
+    "JobResult",
+    "RunJob",
+    "SPAWN_ENTRY_POINTS",
+    "execute_job",
+    "expand_jobs",
+    "run_campaign",
+]

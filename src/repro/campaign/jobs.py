@@ -1,0 +1,219 @@
+"""Run jobs: the picklable unit of campaign work and its worker entry point.
+
+A :class:`RunJob` is a frozen dataclass of primitives — everything a worker
+process needs to reproduce one seeded run, whether it was expanded from a
+named scenario or from a :class:`~repro.workloads.random_scenarios.RandomScenarioSpec`.
+:func:`execute_job` is the ``multiprocessing`` entry point: module-top-level
+(so a spawn context can resolve it by dotted name) and side-effect free on
+import.  It wires the streaming metrics collector and the full streaming
+spec suite (2-phase discussion included) onto a sparse scheduler run,
+injects the job's fault schedule mid-run, and returns a :class:`JobResult`
+whose ``row`` contains only deterministic fields — wall-clock time travels
+separately so aggregate JSONL output stays byte-identical across worker
+counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.runner import CommitteeCoordinator
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernel.algorithm import Environment
+from repro.kernel.daemon import Daemon, daemon_from_name
+from repro.kernel.faults import FaultInjector, arbitrary_configuration
+from repro.kernel.scheduler import Scheduler, StopRun
+from repro.metrics.collector import StreamingMetricsCollector
+from repro.spec.streaming import SpecVerdicts, StreamingSpecSuite
+from repro.workloads.random_scenarios import random_scenario
+from repro.workloads.request_models import environment_from_spec
+from repro.workloads.scenarios import scenario_by_name
+
+
+@dataclass(frozen=True)
+class RunJob:
+    """One seeded run of the campaign matrix (primitives only — picklable).
+
+    ``random_seed`` selects the scenario source: ``None`` means ``scenario``
+    names an entry of :mod:`repro.workloads.scenarios`; otherwise the
+    topology, token, daemon, environment and fault schedule were drawn by
+    :func:`~repro.workloads.random_scenarios.random_scenario` and the fields
+    below carry the drawn values verbatim (so the job alone reproduces the
+    run, without re-deriving the spec).
+    """
+
+    index: int
+    scenario: str
+    random_seed: Optional[int]
+    algorithm: str
+    token: str
+    engine: str
+    daemon: str
+    environment: str  # "always" | "probabilistic:<p>" | "bursty:<active>:<quiet>"
+    discussion_steps: int
+    seed: int
+    max_steps: int
+    arbitrary_start: bool
+    fault_every: int
+    fault_fraction: float
+    grace_steps: Optional[int] = None
+
+    def build_hypergraph(self) -> Hypergraph:
+        if self.random_seed is not None:
+            return random_scenario(self.random_seed).build_hypergraph()
+        return scenario_by_name(self.scenario).hypergraph
+
+    def build_environment(self) -> Environment:
+        # Seeded by the *job* seed: two engines replay the same request
+        # stream, two seeds explore different ones.
+        return environment_from_spec(
+            self.environment, self.discussion_steps, seed=self.seed
+        )
+
+    def build_daemon(self) -> Daemon:
+        return daemon_from_name(self.daemon, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What one worker sends back: the deterministic row plus timing."""
+
+    index: int
+    row: Dict[str, object]
+    steps: int
+    elapsed_seconds: float
+    ok: bool
+
+    @property
+    def steps_per_sec(self) -> float:
+        return self.steps / self.elapsed_seconds if self.elapsed_seconds > 0 else float("inf")
+
+
+_REPORT_KEYS = {
+    "EssentialDiscussion": "essential_discussion",
+    "VoluntaryDiscussion": "voluntary_discussion",
+}
+
+
+def _verdict_fields(verdicts: SpecVerdicts) -> Dict[str, object]:
+    fields: Dict[str, object] = {}
+    total = 0
+    first: Optional[int] = None
+    for report in verdicts.reports:
+        key = _REPORT_KEYS.get(report.name, report.name.lower())
+        fields[key] = report.holds
+        total += len(report.violations)
+        for violation in report.details:
+            if first is None or violation.configuration_index < first:
+                first = violation.configuration_index
+    fields["violations"] = total
+    # Safety violations carry the counterexample window's exact step; other
+    # structured violations (Progress) fall back to their earliest detail
+    # index.  Discussion violations are interval-shaped strings without an
+    # index — they count toward ``violations`` but cannot set this field.
+    fields["first_violation"] = (
+        verdicts.first_violation.step_index
+        if verdicts.first_violation is not None
+        else first
+    )
+    return fields
+
+
+def execute_job(job: RunJob) -> JobResult:
+    """Run one job sparsely with all streaming observers attached.
+
+    This is the campaign's ``multiprocessing`` entry point; it must stay a
+    module-top-level function (``tools/check_repo.py`` enforces spawn-context
+    picklability).  The returned row is a pure function of the job — no
+    timestamps, no machine-dependent values.
+    """
+    hypergraph = job.build_hypergraph()
+    coordinator = CommitteeCoordinator(
+        hypergraph,
+        algorithm=job.algorithm,
+        token=job.token,
+        seed=job.seed,
+        engine=job.engine,
+    )
+    algorithm = coordinator.algorithm
+    collector = StreamingMetricsCollector(hypergraph)
+    suite = StreamingSpecSuite(
+        hypergraph,
+        grace_steps=job.grace_steps,
+        stream=collector.stream,
+        fairness=collector.fairness_monitor,
+        check_discussion=True,
+    )
+    scheduler = Scheduler(
+        algorithm,
+        environment=job.build_environment(),
+        daemon=job.build_daemon(),
+        initial_configuration=(
+            arbitrary_configuration(algorithm, seed=job.seed)
+            if job.arbitrary_start
+            else None
+        ),
+        record_configurations=False,
+        engine=job.engine,
+        step_listener=[collector.observe_step, suite.observe_step],
+    )
+    injector = (
+        FaultInjector(algorithm, fraction=job.fault_fraction, seed=job.seed + 1)
+        if job.fault_every
+        else None
+    )
+    start = time.perf_counter()
+    stop_reason = "max_steps"
+    while scheduler.step_index < job.max_steps:
+        if (
+            injector is not None
+            and scheduler.step_index
+            and scheduler.step_index % job.fault_every == 0
+        ):
+            injector.corrupt_scheduler(scheduler)
+        try:
+            if scheduler.step() is None:
+                stop_reason = "terminal"
+                break
+        except StopRun as stop:  # pragma: no cover - suite never early-stops here
+            stop_reason = stop.reason
+            break
+    elapsed = time.perf_counter() - start
+
+    metrics = collector.metrics(scheduler.trace)
+    verdicts = suite.verdicts()
+    fairness = verdicts.fairness
+    row: Dict[str, object] = {
+        "job": job.index,
+        "scenario": job.scenario,
+        "algorithm": job.algorithm,
+        "token": job.token,
+        "engine": job.engine,
+        "daemon": job.daemon,
+        "environment": job.environment,
+        "seed": job.seed,
+        "arbitrary": job.arbitrary_start,
+        "fault_every": job.fault_every,
+        "steps": scheduler.step_index,
+        "rounds": metrics.rounds,
+        "stop_reason": stop_reason,
+        "meetings": metrics.meetings_convened,
+        "peak_conc": metrics.peak_concurrency,
+        "mean_conc": round(metrics.mean_concurrency, 6),
+        "min_part": metrics.min_professor_participations,
+        "max_part": metrics.max_professor_participations,
+        "jain": round(fairness.professor_jain_index(), 6),
+        "starved_professors": len(fairness.starved_professors),
+        "starved_committees": len(fairness.starved_committees),
+    }
+    row.update(_verdict_fields(verdicts))
+    row["ok"] = verdicts.all_hold
+    return JobResult(
+        index=job.index,
+        row=row,
+        steps=scheduler.step_index,
+        elapsed_seconds=elapsed,
+        ok=verdicts.all_hold,
+    )

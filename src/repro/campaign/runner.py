@@ -1,0 +1,174 @@
+"""The campaign driver: worker pool, aggregation, deterministic JSONL rows.
+
+:func:`run_campaign` expands a :class:`~repro.campaign.matrix.CampaignSpec`
+(or takes pre-expanded jobs), executes every job — serially for ``jobs=1``,
+across a ``multiprocessing`` pool otherwise — and returns a
+:class:`CampaignResult` with per-run rows in job-index order, per-cell
+summary rows and the campaign wall-clock.
+
+Determinism contract: each row is a pure function of its
+:class:`~repro.campaign.jobs.RunJob`, results are re-sorted by job index
+after the (order-unstable) pool drain, and JSONL serialization sorts keys —
+so ``--jobs 4`` output is byte-identical to ``--jobs 1`` output.  Timing is
+carried *next to* the rows (:attr:`~repro.campaign.jobs.JobResult.elapsed_seconds`)
+and only enters the JSONL when ``include_timing=True`` is requested
+explicitly.
+
+The pool uses the ``spawn`` start method by default: it is the only method
+available everywhere and the strictest about what a worker can receive,
+which keeps :func:`~repro.campaign.jobs.execute_job` honest (enforced by
+``tools/check_repo.py``).  Pass ``mp_context="fork"`` on platforms where the
+per-worker interpreter start-up dominates very small campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.campaign.jobs import JobResult, RunJob, execute_job
+from repro.campaign.matrix import CampaignSpec, expand_jobs
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    jobs: List[RunJob]
+    results: List[JobResult]  # in job-index order
+    workers: int
+    elapsed_seconds: float  # campaign wall-clock
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-run rows, deterministic and in job order."""
+        return [result.row for result in self.results]
+
+    @property
+    def violations(self) -> int:
+        """Number of runs in which some checked property failed."""
+        return sum(1 for result in self.results if not result.ok)
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+    @property
+    def total_steps(self) -> int:
+        return sum(result.steps for result in self.results)
+
+    @property
+    def steps_per_sec(self) -> float:
+        """Campaign-level throughput: executed steps per wall-clock second."""
+        return self.total_steps / self.elapsed_seconds if self.elapsed_seconds > 0 else float("inf")
+
+    def jsonl_lines(self, include_timing: bool = False) -> List[str]:
+        """One sorted-key JSON object per run.
+
+        ``include_timing=True`` adds a per-run ``steps_per_sec`` field —
+        useful for perf digging, but machine- and load-dependent, so it
+        breaks the byte-identical-across-worker-counts guarantee and is off
+        by default.
+        """
+        lines: List[str] = []
+        for result in self.results:
+            row = dict(result.row)
+            if include_timing:
+                row["steps_per_sec"] = round(result.steps_per_sec, 1)
+            lines.append(json.dumps(row, sort_keys=True))
+        return lines
+
+    def write_jsonl(self, path: str, include_timing: bool = False) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.jsonl_lines(include_timing):
+                fh.write(line + "\n")
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per (scenario, algorithm) cell plus a totals row.
+
+        Reports run/violation counts, aggregate throughput (cell steps over
+        the cell's summed per-run wall time — the workers' view, independent
+        of how many ran concurrently) and the fairness spread (Jain index
+        range across the cell's runs).
+        """
+        cells: Dict[tuple, List[JobResult]] = {}
+        for job, result in zip(self.jobs, self.results):
+            cells.setdefault((job.scenario, job.algorithm), []).append(result)
+        rows: List[Dict[str, object]] = []
+        for (scenario, algorithm), results in cells.items():
+            elapsed = sum(r.elapsed_seconds for r in results)
+            steps = sum(r.steps for r in results)
+            jains = [float(r.row["jain"]) for r in results]
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "algorithm": algorithm,
+                    "runs": len(results),
+                    "violations": sum(1 for r in results if not r.ok),
+                    "steps": steps,
+                    "steps/s": round(steps / elapsed, 1) if elapsed > 0 else "-",
+                    "jain min..max": f"{min(jains):.3f}..{max(jains):.3f}",
+                }
+            )
+        rows.append(
+            {
+                "scenario": "TOTAL",
+                "algorithm": "-",
+                "runs": len(self.results),
+                "violations": self.violations,
+                "steps": self.total_steps,
+                "steps/s": round(self.steps_per_sec, 1),
+                "jain min..max": f"wall {self.elapsed_seconds:.2f}s x{self.workers}",
+            }
+        )
+        return rows
+
+
+def run_campaign(
+    spec_or_jobs: Union[CampaignSpec, Sequence[RunJob]],
+    jobs: int = 1,
+    mp_context: str = "spawn",
+    progress: Optional[Callable[[JobResult, int, int], None]] = None,
+) -> CampaignResult:
+    """Execute a campaign across ``jobs`` worker processes.
+
+    ``progress`` (optional) is called in completion order with
+    ``(result, completed, total)`` — completion order varies with the worker
+    count, but the returned :class:`CampaignResult` is always re-sorted into
+    job order, so everything downstream is deterministic.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if isinstance(spec_or_jobs, CampaignSpec):
+        job_list = expand_jobs(spec_or_jobs)
+    else:
+        job_list = list(spec_or_jobs)
+    start = time.perf_counter()
+    results: List[JobResult] = []
+    if jobs == 1 or len(job_list) <= 1:
+        workers = 1
+        for job in job_list:
+            result = execute_job(job)
+            results.append(result)
+            if progress is not None:
+                progress(result, len(results), len(job_list))
+    else:
+        workers = min(jobs, len(job_list))
+        context = multiprocessing.get_context(mp_context)
+        with context.Pool(processes=workers) as pool:
+            # Unordered drain: long jobs do not head-of-line-block short
+            # ones.  Determinism is restored by the sort below.
+            for result in pool.imap_unordered(execute_job, job_list, chunksize=1):
+                results.append(result)
+                if progress is not None:
+                    progress(result, len(results), len(job_list))
+    results.sort(key=lambda result: result.index)
+    return CampaignResult(
+        jobs=job_list,
+        results=results,
+        workers=workers,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -10,6 +10,12 @@ common operations:
   three checked properties is violated — fairness is informational),
 * ``bounds``   -- print the analytical quantities (minMM, AMM bounds, ...) of a scenario,
 * ``compare``  -- run CC1/CC2/CC3 and all baselines on a scenario and print one table,
+* ``campaign`` -- expand a scenario × algorithm × engine × daemon × fault ×
+  seed matrix (named and/or randomized scenarios) into seeded runs, execute
+  them across ``--jobs`` worker processes with all streaming monitors
+  attached, print the summary table and optionally write one JSONL row per
+  run (byte-identical for any ``--jobs``; exits non-zero if any run violated
+  a checked property),
 * ``scenarios``-- list the available scenarios.
 
 Examples::
@@ -20,6 +26,9 @@ Examples::
     repro-cc check --scenario figure1 --arbitrary --stop-on-violation
     repro-cc bounds --scenario figure2-impossibility
     repro-cc compare --scenario grid-3x3 --rounds 300
+    repro-cc campaign --scenario figure1 --scenario grid-3x3 \\
+        --algorithm cc1 --algorithm cc2 --random 4 --seeds 3 \\
+        --jobs 4 --out rows.jsonl
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from repro.baselines import (
     KumarTokenCoordinator,
     ManagerTokenCoordinator,
 )
+from repro.campaign import CampaignSpec, FaultSchedule, run_campaign
 from repro.core.runner import CommitteeCoordinator
 from repro.metrics.throughput import measure_throughput
 from repro.workloads.scenarios import all_scenarios, scenario_by_name
@@ -91,6 +101,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         check=True,
         stop_on_violation=args.stop_on_violation,
         grace_steps=args.grace,
+        check_discussion=args.discussion_spec,
     )
     spec = outcome.spec
     assert spec is not None
@@ -162,10 +173,58 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    scenarios = tuple(args.scenario or ())
+    if not scenarios and not args.random:
+        # Mirror the run/check default so a bare `repro-cc campaign` works.
+        scenarios = ("figure1",)
+    try:
+        spec = CampaignSpec(
+            scenarios=scenarios,
+            random_count=args.random,
+            random_base_seed=args.random_seed,
+            algorithms=tuple(args.algorithm or ("cc2",)),
+            tokens=tuple(args.token or ("tree",)),
+            engines=tuple(args.engine or ("incremental",)),
+            daemons=tuple(args.daemon or ("weakly_fair",)),
+            faults=tuple(FaultSchedule.parse(text) for text in (args.faults or ("none",))),
+            seeds=tuple(range(args.seed, args.seed + args.seeds)),
+            max_steps=args.steps,
+            discussion_steps=args.discussion,
+            environment=args.environment,
+            grace_steps=args.grace,
+            arbitrary_start=args.arbitrary,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    result = run_campaign(spec, jobs=args.jobs)
+    print(
+        format_table(
+            result.summary_rows(),
+            title=(
+                f"Campaign: {len(result.jobs)} runs x {result.workers} workers "
+                f"({result.violations} with violations)"
+            ),
+        )
+    )
+    if args.out:
+        result.write_jsonl(args.out, include_timing=args.timing)
+        print(f"wrote {len(result.results)} rows to {args.out}")
+    return 0 if result.ok else 1
+
+
 def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return parsed
+
+
+def _non_negative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return parsed
 
 
@@ -236,6 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="Progress tail window in configurations, >= 1 (default: half the trace)",
     )
+    check.add_argument(
+        "--discussion-spec",
+        action="store_true",
+        help="also stream the 2-phase discussion checkers (EssentialDiscussion/"
+        "VoluntaryDiscussion rows; their verdicts then drive the exit code too)",
+    )
     check.set_defaults(func=_cmd_check)
 
     bounds = sub.add_parser("bounds", help="print analytical bounds for a scenario")
@@ -248,6 +313,100 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--rounds", type=int, default=400)
     compare.add_argument("--seed", type=int, default=1)
     compare.set_defaults(func=_cmd_compare)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a scenario matrix across worker processes with all "
+        "streaming monitors attached",
+    )
+    campaign.add_argument(
+        "--scenario",
+        action="append",
+        help="named scenario (repeatable; default figure1 unless --random > 0)",
+    )
+    campaign.add_argument(
+        "--random",
+        type=_non_negative_int,
+        default=0,
+        help="number of randomized scenarios to add (seeded, see "
+        "repro.workloads.random_scenarios)",
+    )
+    campaign.add_argument(
+        "--random-seed",
+        type=int,
+        default=0,
+        help="base seed for the randomized scenarios",
+    )
+    campaign.add_argument(
+        "--algorithm",
+        action="append",
+        choices=["cc1", "cc2", "cc3"],
+        help="algorithm axis (repeatable; default cc2)",
+    )
+    campaign.add_argument(
+        "--token",
+        action="append",
+        choices=["tree", "ring", "oracle"],
+        help="token substrate axis for named scenarios (repeatable; default tree)",
+    )
+    campaign.add_argument(
+        "--engine",
+        action="append",
+        choices=["auto", "dense", "incremental"],
+        help="engine axis (repeatable; default incremental)",
+    )
+    campaign.add_argument(
+        "--daemon",
+        action="append",
+        choices=["weakly_fair", "synchronous"],
+        help="daemon axis for named scenarios (repeatable; default weakly_fair)",
+    )
+    campaign.add_argument(
+        "--faults",
+        action="append",
+        help="fault-schedule axis for named scenarios: 'none' or "
+        "'EVERY:FRACTION', e.g. 50:0.4 (repeatable; default none)",
+    )
+    campaign.add_argument(
+        "--seeds",
+        type=_positive_int,
+        default=1,
+        help="number of run seeds per matrix cell (consecutive from --seed)",
+    )
+    campaign.add_argument("--seed", type=int, default=1, help="base run seed")
+    campaign.add_argument("--steps", type=_positive_int, default=2000, help="step budget per run")
+    campaign.add_argument("--discussion", type=int, default=1, help="voluntary discussion length")
+    campaign.add_argument(
+        "--environment",
+        default="always",
+        help="request model for named scenarios: always, probabilistic[:P] "
+        "or bursty[:ACTIVE:QUIET]",
+    )
+    campaign.add_argument(
+        "--grace",
+        type=_positive_int,
+        default=None,
+        help="Progress tail window, >= 1 (default: half the trace)",
+    )
+    campaign.add_argument(
+        "--arbitrary",
+        action="store_true",
+        help="start named-scenario runs from arbitrary configurations",
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes (rows are byte-identical for any value)",
+    )
+    campaign.add_argument("--out", default=None, help="write one JSON row per run to this file")
+    campaign.add_argument(
+        "--timing",
+        action="store_true",
+        help="include per-run steps/sec in --out rows (machine-dependent: "
+        "breaks byte-for-byte reproducibility)",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
 
     return parser
 

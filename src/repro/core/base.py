@@ -109,6 +109,16 @@ class CommitteeAlgorithmBase(DistributedAlgorithm):
             self.token.read_dependency_variables(pid),
         )
 
+    #: Environment sensitivity is a pure function of the process's status, so
+    #: the incremental engine can keep the sensitive set current from ``S``
+    #: writes alone instead of re-scanning every status between steps.
+    environment_sensitive_variables: Tuple[str, ...] = (STATUS,)
+
+    def environment_sensitive(
+        self, pid: ProcessId, configuration: Configuration
+    ) -> bool:
+        return configuration.get(pid, STATUS) in self.environment_sensitive_statuses
+
     def environment_sensitive_processes(
         self, configuration: Configuration
     ) -> Tuple[ProcessId, ...]:

@@ -27,7 +27,7 @@ from repro.core.composition import TokenBinding
 from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
 from repro.kernel.algorithm import Environment
 from repro.kernel.configuration import Configuration
-from repro.kernel.daemon import Daemon, SynchronousDaemon, default_daemon
+from repro.kernel.daemon import DAEMON_NAMES, Daemon, daemon_from_name
 from repro.kernel.faults import arbitrary_configuration
 from repro.kernel.scheduler import ENGINES, Scheduler, SchedulerResult
 from repro.kernel.trace import Trace
@@ -42,7 +42,7 @@ from repro.workloads.request_models import AlwaysRequestingEnvironment
 
 ALGORITHMS = ("cc1", "cc2", "cc3")
 TOKEN_MODULES = ("tree", "ring", "oracle")
-DAEMONS = ("weakly_fair", "synchronous")
+DAEMONS = DAEMON_NAMES
 
 
 @dataclass
@@ -159,11 +159,7 @@ class CommitteeCoordinator:
     def _build_daemon(self) -> Daemon:
         if isinstance(self._daemon_spec, Daemon):
             return self._daemon_spec
-        if self._daemon_spec == "synchronous":
-            return SynchronousDaemon()
-        if self._daemon_spec == "weakly_fair":
-            return default_daemon(seed=self.seed)
-        raise ValueError(f"unknown daemon {self._daemon_spec!r}; expected one of {DAEMONS}")
+        return daemon_from_name(self._daemon_spec, seed=self.seed)
 
     # ------------------------------------------------------------------ #
     # running
@@ -178,6 +174,7 @@ class CommitteeCoordinator:
         check: bool = False,
         stop_on_violation: bool = False,
         grace_steps: Optional[int] = None,
+        check_discussion: bool = False,
     ) -> SimulationOutcome:
         """Run one computation and collect metrics.
 
@@ -200,7 +197,10 @@ class CommitteeCoordinator:
         the run at the first safety violation: the scheduler result's
         ``stop_reason`` is ``"violation"`` and ``spec.first_violation`` holds
         the counterexample window.  ``grace_steps`` tunes the Progress tail
-        window (default: half the trace length).
+        window (default: half the trace length).  ``check_discussion=True``
+        (implies ``check``) additionally streams the 2-phase discussion
+        checkers; their reports land in ``spec.essential`` /
+        ``spec.voluntary`` and participate in ``spec.all_hold``.
         """
         env = environment if environment is not None else AlwaysRequestingEnvironment(discussion_steps)
         daemon = self._build_daemon()
@@ -209,7 +209,7 @@ class CommitteeCoordinator:
             initial = arbitrary_configuration(self.algorithm, seed=self.seed)
         collector = None if record_configurations else StreamingMetricsCollector(self.hypergraph)
         suite = None
-        if check or stop_on_violation:
+        if check or stop_on_violation or check_discussion:
             # When the metrics collector rides along too, the suite reuses
             # its meeting-event stream and convene counter: metrics + spec
             # checking together pay the per-step committee sweep once.  The
@@ -220,6 +220,7 @@ class CommitteeCoordinator:
                 stop_on_violation=stop_on_violation,
                 stream=collector.stream if collector is not None else None,
                 fairness=collector.fairness_monitor if collector is not None else None,
+                check_discussion=check_discussion,
             )
         listeners = [
             observer.observe_step for observer in (collector, suite) if observer is not None

@@ -300,6 +300,35 @@ class DistributedAlgorithm(abc.ABC):
         """
         return {source: None for source in self.read_dependencies(pid)}
 
+    #: Variables of a process whose value determines whether that process is
+    #: environment-sensitive, or ``None`` when membership cannot be tracked
+    #: variable-wise.  When a tuple is declared, the incremental scheduler
+    #: engine maintains the environment-sensitive set *incrementally*: it
+    #: scans :meth:`environment_sensitive_processes` once (at construction
+    #: and after every external configuration swap) and thereafter updates
+    #: membership only for step writers that wrote one of these variables,
+    #: asking :meth:`environment_sensitive` — so the between-steps refresh
+    #: costs O(|sensitive|) instead of an O(n) status scan per step.  An
+    #: empty tuple means membership never changes with any write (algorithms
+    #: whose guards never consult the environment).  ``None`` (the default)
+    #: keeps the historical behaviour: a fresh
+    #: :meth:`environment_sensitive_processes` scan every step.
+    environment_sensitive_variables: Optional[Tuple[str, ...]] = None
+
+    def environment_sensitive(
+        self, pid: ProcessId, configuration: Configuration
+    ) -> bool:
+        """Is ``pid`` environment-sensitive in ``configuration``?
+
+        Consulted by the incremental engine's status index (see
+        :attr:`environment_sensitive_variables`) for processes that wrote one
+        of the declared variables.  Must agree pointwise with
+        :meth:`environment_sensitive_processes`; the default delegates to it
+        (correct but O(n) — algorithms that declare the variables override
+        this with an O(1) predicate, e.g. a status check).
+        """
+        return pid in self.environment_sensitive_processes(configuration)
+
     def environment_sensitive_processes(
         self, configuration: Configuration
     ) -> Tuple[ProcessId, ...]:
@@ -314,5 +343,10 @@ class DistributedAlgorithm(abc.ABC):
         sweep); algorithms whose guards never consult the environment return
         ``()``, and the committee coordination layer returns the processes
         whose status makes a request predicate relevant (``idle``/``done``).
+
+        This is the *full-scan* form; with
+        :attr:`environment_sensitive_variables` declared the engine calls it
+        only at construction and after external configuration swaps, and
+        keeps the set current from step deltas in between.
         """
         return self.process_ids()

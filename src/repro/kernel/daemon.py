@@ -273,3 +273,21 @@ class WeaklyFairDaemon(Daemon):
 def default_daemon(seed: Optional[int] = None, probability: float = 0.5, patience: int = 8) -> Daemon:
     """The library default: a distributed randomized daemon with enforced weak fairness."""
     return WeaklyFairDaemon(DistributedRandomDaemon(probability=probability, seed=seed), patience=patience)
+
+
+#: Names accepted by :func:`daemon_from_name` (the CLI/campaign vocabulary).
+DAEMON_NAMES = ("weakly_fair", "synchronous")
+
+
+def daemon_from_name(name: str, seed: Optional[int] = None) -> Daemon:
+    """Build a daemon from its CLI/campaign name.
+
+    The single construction path shared by :class:`~repro.core.runner`'s
+    coordinator, the campaign jobs and the randomized scenarios, so the
+    name vocabulary cannot drift between them.
+    """
+    if name == "synchronous":
+        return SynchronousDaemon()
+    if name == "weakly_fair":
+        return default_daemon(seed=seed)
+    raise ValueError(f"unknown daemon {name!r}; expected one of {DAEMON_NAMES}")

@@ -32,7 +32,11 @@ Two execution engines are available (``engine=`` parameter):
     as the process-granular fallback) — and between steps only the
     :meth:`~repro.kernel.algorithm.DistributedAlgorithm.environment_sensitive_processes`
     are refreshed (the environment advances in ``observe`` after the map was
-    cached).  Produces traces identical to the dense engine for any fixed
+    cached).  When the algorithm declares
+    :attr:`~repro.kernel.algorithm.DistributedAlgorithm.environment_sensitive_variables`
+    that sensitive set is itself maintained incrementally from the step's
+    writer set (a *status index*), so the between-steps refresh no longer
+    pays an O(n) status scan per step.  Produces traces identical to the dense engine for any fixed
     seed, provided guard evaluation is side-effect free.  Environments that
     violate this declare ``deterministic_guards = False`` and are rejected
     by the incremental engine at construction time; every environment in
@@ -232,6 +236,18 @@ class Scheduler:
         self._var_dependents: Optional[
             Dict[Tuple[ProcessId, str], FrozenSet[ProcessId]]
         ] = None
+        # Environment-sensitivity status index: when the algorithm declares
+        # ``environment_sensitive_variables``, the engine maintains the set of
+        # environment-sensitive processes incrementally (full scan only at
+        # construction and on external configuration swaps; O(|writers|)
+        # membership updates per step) instead of re-scanning every status
+        # between steps.
+        self._env_sensitive: Optional[Set[ProcessId]] = None
+        self._env_sensitive_vars = algorithm.environment_sensitive_variables
+        if engine == "incremental" and self._env_sensitive_vars is not None:
+            self._env_sensitive = set(
+                algorithm.environment_sensitive_processes(self.configuration)
+            )
         if engine == "incremental":
             proc: Dict[ProcessId, Set[ProcessId]] = {
                 pid: {pid} for pid in algorithm.process_ids()
@@ -301,6 +317,12 @@ class Scheduler:
         self.configuration = configuration
         self.epoch += 1
         self.invalidate_enabled_cache()
+        if self._env_sensitive is not None:
+            # The swap may have flipped any status: rebuild the sensitivity
+            # index from a full scan (O(n), like the corruption itself).
+            self._env_sensitive = set(
+                self.algorithm.environment_sensitive_processes(configuration)
+            )
 
     def _current_enabled(self) -> Dict[ProcessId, Any]:
         """The enabled map for the current configuration (cached if incremental)."""
@@ -313,9 +335,16 @@ class Scheduler:
         else:
             # The cache was computed before the environment observed the last
             # configuration; refresh the processes whose guards may have
-            # flipped with the environment alone.
+            # flipped with the environment alone.  The status index (when the
+            # algorithm declares ``environment_sensitive_variables``) makes
+            # this O(|sensitive|) instead of an O(n) status scan.
             cache = self._enabled_cache
-            for pid in self.algorithm.environment_sensitive_processes(self.configuration):
+            sensitive: Any = (
+                self._env_sensitive
+                if self._env_sensitive is not None
+                else self.algorithm.environment_sensitive_processes(self.configuration)
+            )
+            for pid in sensitive:
                 action = self.algorithm.enabled_action(
                     pid, self.configuration, self.environment
                 )
@@ -396,6 +425,20 @@ class Scheduler:
             executed[pid] = action.label
 
         new_configuration = self.configuration.updated(writes)
+
+        if self._env_sensitive is not None and self._env_sensitive_vars:
+            # Status-index maintenance: a process's environment sensitivity
+            # can only flip when it writes one of the declared variables
+            # (statements write own variables only; external swaps rebuild
+            # the index in ``set_configuration``).
+            env_vars = self._env_sensitive_vars
+            sensitive_set = self._env_sensitive
+            for pid, written in writes.items():
+                if written and any(v in written for v in env_vars):
+                    if self.algorithm.environment_sensitive(pid, new_configuration):
+                        sensitive_set.add(pid)
+                    else:
+                        sensitive_set.discard(pid)
 
         # Neutralization: enabled before, not selected, not enabled after.
         enabled_after_map = self._enabled_after_step(enabled_map, writes, new_configuration)

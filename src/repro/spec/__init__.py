@@ -33,7 +33,12 @@ from repro.spec.streaming import (
     StreamingSpecSuite,
     StreamingSynchronizationMonitor,
 )
-from repro.spec.discussion import check_essential_discussion, check_voluntary_discussion
+from repro.spec.discussion import (
+    StreamingEssentialDiscussionMonitor,
+    StreamingVoluntaryDiscussionMonitor,
+    check_essential_discussion,
+    check_voluntary_discussion,
+)
 from repro.spec.fairness import committee_fairness_counts, professor_fairness_counts
 from repro.spec.concurrency import check_maximal_concurrency, measure_fair_concurrency
 from repro.spec.stabilization import snap_stabilization_sweep
@@ -60,6 +65,8 @@ __all__ = [
     "StreamingProgressMonitor",
     "StreamingSpecSuite",
     "StreamingSynchronizationMonitor",
+    "StreamingEssentialDiscussionMonitor",
+    "StreamingVoluntaryDiscussionMonitor",
     "check_essential_discussion",
     "check_voluntary_discussion",
     "committee_fairness_counts",

@@ -8,16 +8,28 @@
   *voluntarily* terminates it, i.e. the committee only stops meeting because
   a member executed ``Step4`` (left with status ``done``) -- never because a
   member abandoned the meeting in another way.
+
+Both properties exist in two equivalent renderings: the dense post-hoc
+checkers (:func:`check_essential_discussion` /
+:func:`check_voluntary_discussion`, which need a recorded trace) and the
+streaming monitors (:class:`StreamingEssentialDiscussionMonitor` /
+:class:`StreamingVoluntaryDiscussionMonitor`) that consume the scheduler's
+configuration stream in O(n + m) memory and produce byte-identical
+:class:`~repro.spec.properties.PropertyReport` objects — so sparse
+multi-million-step campaign runs can check 2-phase discussion online.  The
+:class:`~repro.spec.streaming.StreamingSpecSuite` wires them up behind its
+``check_discussion`` switch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.states import DONE, POINTER, STATUS, WAITING
 from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
+from repro.kernel.configuration import Configuration
 from repro.kernel.trace import Trace
-from repro.spec.events import committee_meets, meeting_events
+from repro.spec.events import MeetingEvent, committee_meets, meeting_events
 from repro.spec.properties import PropertyReport
 
 
@@ -91,3 +103,154 @@ def check_voluntary_discussion(trace: Trace, hypergraph: Hypergraph) -> Property
                 "without any member voluntarily leaving from the done status"
             )
     return PropertyReport("VoluntaryDiscussion", not violations, violations)
+
+
+# --------------------------------------------------------------------------- #
+# streaming monitors (sparse-run counterparts of the checkers above)
+# --------------------------------------------------------------------------- #
+class StreamingEssentialDiscussionMonitor:
+    """Online counterpart of :func:`check_essential_discussion`.
+
+    Tracks, per *open* meeting (opened by a convene event — meetings
+    inherited from an arbitrary initial configuration carry no guarantee and
+    are skipped, exactly like the dense interval pairing), which members have
+    reached ``done`` while pointing at the committee.  The dense checker
+    scans configurations ``start..end-1``, so marks are updated from the
+    convene configuration (inclusive) up to the one *before* the terminate
+    event: terminations are handled first in :meth:`observe`.
+
+    ``writers`` (the step delta's writer map, forwarded by the suite exactly
+    when the shared event stream took its delta fast path) drives the
+    ``O(|writers|)`` update: a member's mark can only flip when it writes its
+    status or pointer.  ``None`` forces a full rescan of every open meeting —
+    first observation, delta-less records, configuration-epoch changes.
+    """
+
+    name = "EssentialDiscussion"
+
+    def __init__(self) -> None:
+        self._violations: List[str] = []
+        #: committee -> (convene index, member -> reached ``done`` here)
+        self._open: Dict[Hyperedge, Tuple[int, Dict[ProcessId, bool]]] = {}
+        self._member_open: Dict[ProcessId, Set[Hyperedge]] = {}
+
+    @staticmethod
+    def _mark(committee: Hyperedge, reached: Dict[ProcessId, bool],
+              member: ProcessId, states: Mapping[ProcessId, Mapping[str, object]]) -> None:
+        state = states[member]
+        if state.get(STATUS) == DONE and state.get(POINTER) == committee:
+            reached[member] = True
+
+    def observe(
+        self,
+        index: int,
+        configuration: Configuration,
+        events: Sequence[MeetingEvent],
+        writers: Optional[Mapping[ProcessId, Tuple[str, ...]]] = None,
+    ) -> None:
+        open_meetings = self._open
+        member_open = self._member_open
+        # Terminations first: γ_index is outside the dense scan window.
+        for event in events:
+            if event.kind != "terminate":
+                continue
+            entry = open_meetings.pop(event.committee, None)
+            if entry is None:
+                continue  # meeting inherited from the initial configuration
+            start, reached = entry
+            for member in event.committee:
+                committees = member_open.get(member)
+                if committees is not None:
+                    committees.discard(event.committee)
+            missing = [m for m, ok in reached.items() if not ok]
+            if missing:
+                self._violations.append(
+                    f"meeting of {tuple(event.committee.members)} "
+                    f"(configurations {start}..{index}) terminated before "
+                    f"members {missing} performed their essential discussion"
+                )
+        states = configuration.states_view()
+        # New meetings: the convene configuration is part of the scan window.
+        for event in events:
+            if event.kind != "convene":
+                continue
+            committee = event.committee
+            reached = {member: False for member in committee}
+            open_meetings[committee] = (index, reached)
+            for member in committee:
+                member_open.setdefault(member, set()).add(committee)
+                self._mark(committee, reached, member, states)
+        # Marks for meetings that stay open through γ_index.
+        if writers is None:
+            for committee, (_, reached) in open_meetings.items():
+                for member in committee:
+                    if not reached[member]:
+                        self._mark(committee, reached, member, states)
+        else:
+            for pid, written in writers.items():
+                if STATUS not in written and POINTER not in written:
+                    continue
+                for committee in member_open.get(pid, ()):
+                    _, reached = open_meetings[committee]
+                    if not reached[pid]:
+                        self._mark(committee, reached, pid, states)
+
+    def report(self) -> PropertyReport:
+        """Dense-identical report: meetings still open are not checked yet."""
+        return PropertyReport(self.name, not self._violations, list(self._violations))
+
+
+class StreamingVoluntaryDiscussionMonitor:
+    """Online counterpart of :func:`check_voluntary_discussion`.
+
+    Keeps one reference to the previously observed configuration (O(1) —
+    configurations are immutable and copy-on-write) so the terminate-step
+    signature check ``done-with-pointer in γ_{end-1} ∧ pointer moved in
+    γ_end`` is evaluated exactly as the dense checker does on the recorded
+    pair.  Like the dense interval pairing, only meetings opened by an
+    observed convene event are checked.
+    """
+
+    name = "VoluntaryDiscussion"
+
+    def __init__(self) -> None:
+        self._violations: List[str] = []
+        self._convened: Set[Hyperedge] = set()
+        self._previous: Optional[Configuration] = None
+
+    def observe(
+        self,
+        index: int,
+        configuration: Configuration,
+        events: Sequence[MeetingEvent],
+        writers: Optional[Mapping[ProcessId, Tuple[str, ...]]] = None,
+    ) -> None:
+        previous = self._previous
+        for event in events:
+            committee = event.committee
+            if event.kind == "convene":
+                self._convened.add(committee)
+                continue
+            if committee not in self._convened:
+                continue  # inherited from the initial configuration
+            self._convened.discard(committee)
+            voluntary = False
+            if previous is not None:
+                for member in committee:
+                    if (
+                        previous.get(member, STATUS) == DONE
+                        and previous.get(member, POINTER) == committee
+                        and configuration.get(member, POINTER) != committee
+                    ):
+                        voluntary = True
+                        break
+            if not voluntary:
+                self._violations.append(
+                    f"meeting of {tuple(committee.members)} terminated at "
+                    f"configuration {index} without any member voluntarily "
+                    "leaving from the done status"
+                )
+        self._previous = configuration
+
+    def report(self) -> PropertyReport:
+        return PropertyReport(self.name, not self._violations, list(self._violations))

@@ -45,6 +45,12 @@ Parity contract with the dense checkers, monitor by monitor:
   violations consequently never trigger the early stop — only the safety
   monitors (Exclusion, Synchronization) do.
 * **Fairness** — convene-event counting, shared with the metrics collector.
+* **2-phase discussion** (``check_discussion=True``) — the
+  Essential/Voluntary checkers of :mod:`repro.spec.discussion` stream too:
+  intervals are paired on convene/terminate events exactly like the dense
+  ``_meeting_intervals`` pairing, so the reports match byte for byte.
+  Campaign runs (:mod:`repro.campaign`) enable this so 2-phase discussion is
+  checked on sparse runs.
 
 **Cost per step.**  As of the kernel's writer-set delta protocol
 (:class:`~repro.kernel.trace.StepDelta`), the suite updates from each step's
@@ -75,6 +81,10 @@ from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, ProcessId
 from repro.kernel.configuration import Configuration
 from repro.kernel.scheduler import StopRun
 from repro.kernel.trace import StepRecord
+from repro.spec.discussion import (
+    StreamingEssentialDiscussionMonitor,
+    StreamingVoluntaryDiscussionMonitor,
+)
 from repro.spec.events import MeetingEvent, MeetingEventStream
 from repro.spec.fairness import FairnessSummary
 from repro.spec.properties import (
@@ -437,22 +447,40 @@ class StreamingFairnessMonitor:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class SpecVerdicts:
-    """The bundle a spec-checked run produces (dense-identical reports)."""
+    """The bundle a spec-checked run produces (dense-identical reports).
+
+    ``essential`` / ``voluntary`` carry the 2-phase discussion reports when
+    the suite ran with ``check_discussion=True`` (campaign runs do); they are
+    ``None`` otherwise and then do not participate in :attr:`all_hold`.
+    """
 
     exclusion: PropertyReport
     synchronization: PropertyReport
     progress: PropertyReport
     fairness: FairnessSummary
     first_violation: Optional[CounterexampleWindow] = None
+    essential: Optional[PropertyReport] = None
+    voluntary: Optional[PropertyReport] = None
 
     @property
     def all_hold(self) -> bool:
-        return self.exclusion.holds and self.synchronization.holds and self.progress.holds
+        checked = self.exclusion.holds and self.synchronization.holds and self.progress.holds
+        for report in (self.essential, self.voluntary):
+            if report is not None:
+                checked = checked and report.holds
+        return checked
+
+    @property
+    def reports(self) -> Tuple[PropertyReport, ...]:
+        """The checked reports, in table order (discussion only when enabled)."""
+        base = (self.exclusion, self.synchronization, self.progress)
+        extra = tuple(r for r in (self.essential, self.voluntary) if r is not None)
+        return base + extra
 
     def as_rows(self) -> List[Dict[str, object]]:
         """One row per property (used by the ``repro-cc check`` table)."""
         rows: List[Dict[str, object]] = []
-        for report in (self.exclusion, self.synchronization, self.progress):
+        for report in self.reports:
             rows.append(
                 {
                     "property": report.name,
@@ -518,6 +546,7 @@ class StreamingSpecSuite:
         window_size: int = 8,
         stream: Optional[MeetingEventStream] = None,
         fairness: Optional[StreamingFairnessMonitor] = None,
+        check_discussion: bool = False,
     ) -> None:
         self.hypergraph = hypergraph
         self.stop_on_violation = stop_on_violation
@@ -529,6 +558,13 @@ class StreamingSpecSuite:
         self.progress = StreamingProgressMonitor(
             hypergraph, grace_steps, stream=self._stream
         )
+        # 2-phase discussion (Definition 1) rides along when asked for; the
+        # reports are byte-identical to the dense checkers in
+        # :mod:`repro.spec.discussion`.  Discussion violations never trigger
+        # the early stop — they are interval-shaped (reported at terminate
+        # events), not per-configuration safety checks.
+        self.essential = StreamingEssentialDiscussionMonitor() if check_discussion else None
+        self.voluntary = StreamingVoluntaryDiscussionMonitor() if check_discussion else None
         self.fairness = fairness if fairness is not None else StreamingFairnessMonitor(hypergraph)
         self._safety_monitors = (self.exclusion, self.synchronization)
         self._frames: Deque[Tuple[int, Configuration]] = deque(maxlen=window_size)
@@ -580,6 +616,9 @@ class StreamingSpecSuite:
         if self._counts_fairness:
             self.fairness.consume(events)
         self.progress.observe(index, configuration, events, writers)
+        if self.essential is not None:
+            self.essential.observe(index, configuration, events, writers)
+            self.voluntary.observe(index, configuration, events, writers)
         # Let every safety monitor observe the committed step *before*
         # raising, so post-halt verdicts stay dense-identical on the
         # recorded prefix even when several properties break at once.
@@ -616,4 +655,6 @@ class StreamingSpecSuite:
             progress=self.progress.report(n),
             fairness=self.fairness.summary(),
             first_violation=self.first_violation,
+            essential=self.essential.report() if self.essential is not None else None,
+            voluntary=self.voluntary.report() if self.voluntary is not None else None,
         )

@@ -8,6 +8,11 @@ from repro.workloads.request_models import (
     ScriptedEnvironment,
     SelectiveInfiniteMeetingEnvironment,
 )
+from repro.workloads.random_scenarios import (
+    RandomScenarioSpec,
+    random_scenario,
+    random_scenarios,
+)
 from repro.workloads.scenarios import (
     Scenario,
     all_scenarios,
@@ -18,6 +23,9 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "RandomScenarioSpec",
+    "random_scenario",
+    "random_scenarios",
     "AlwaysRequestingEnvironment",
     "BurstyRequestEnvironment",
     "InfiniteMeetingEnvironment",

@@ -1,0 +1,184 @@
+"""Seeded randomized scenarios: an unbounded workload space from one integer.
+
+The named scenarios in :mod:`repro.workloads.scenarios` cover the paper's
+figures and a dozen structured families; the campaign engine and the fuzz
+tests need *arbitrary* workloads that are still perfectly reproducible.  One
+seed deterministically derives a complete :class:`RandomScenarioSpec`:
+
+* a random hypergraph drawn from the parametric families of
+  :mod:`repro.hypergraph.generators` (paths, cycles, stars, grids, complete
+  and connected random k-uniform hypergraphs),
+* a request model (always-requesting, Bernoulli, bursty) with drawn
+  parameters,
+* a token substrate, a daemon choice, a voluntary-discussion length,
+* an arbitrary-vs-legitimate initial configuration, and
+* a mid-run transient-fault schedule (possibly none).
+
+The spec is a frozen dataclass of primitives only — hashable, comparable and
+picklable from a ``multiprocessing`` spawn context — with ``build_*``
+methods that construct the live objects on whichever process executes the
+run.  ``random_scenario(seed) == random_scenario(seed)`` always; the
+differential fuzz harness (``tests/test_differential_harness.py``) and
+``repro-cc campaign --random N`` both lean on that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.hypergraph.generators import (
+    complete_hypergraph,
+    cycle_of_committees,
+    grid_of_committees,
+    path_of_committees,
+    random_k_uniform_hypergraph,
+    star_hypergraph,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernel.algorithm import Environment
+from repro.kernel.daemon import Daemon, daemon_from_name
+from repro.workloads.request_models import environment_from_spec
+
+#: Topology families a random scenario may draw (all connected, so every
+#: token substrate works; ``disjoint_committees`` is deliberately absent).
+TOPOLOGY_FAMILIES = ("path", "cycle", "star", "grid", "complete", "random")
+ENVIRONMENTS = ("always", "probabilistic", "bursty")
+DAEMONS = ("weakly_fair", "synchronous")
+TOKENS = ("tree", "ring", "oracle")
+
+
+@dataclass(frozen=True)
+class RandomScenarioSpec:
+    """One randomized workload, fully determined by :attr:`seed`.
+
+    Primitives only: the spec travels to ``multiprocessing`` workers and
+    into JSONL rows; the live hypergraph/environment/daemon are built on
+    demand via the ``build_*`` methods.
+    """
+
+    seed: int
+    topology: str
+    topology_params: Tuple[int, ...]
+    token: str
+    daemon: str
+    environment: str
+    request_probability: float
+    active_steps: int
+    quiet_steps: int
+    discussion_steps: int
+    arbitrary_start: bool
+    fault_every: int  # 0 = no mid-run fault bursts
+    fault_fraction: float
+
+    @property
+    def name(self) -> str:
+        return f"random-{self.seed}"
+
+    @property
+    def description(self) -> str:
+        params = "x".join(str(p) for p in self.topology_params)
+        faults = f", faults every {self.fault_every}" if self.fault_every else ""
+        return (
+            f"randomized scenario (seed {self.seed}): {self.topology}-{params}, "
+            f"{self.environment} requests, {self.daemon} daemon, "
+            f"{self.token} token{faults}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # builders (run on the executing process, possibly a spawned worker)
+    # ------------------------------------------------------------------ #
+    def build_hypergraph(self) -> Hypergraph:
+        family, params = self.topology, self.topology_params
+        if family == "path":
+            return path_of_committees(params[0], params[1])
+        if family == "cycle":
+            return cycle_of_committees(params[0], params[1])
+        if family == "star":
+            return star_hypergraph(params[0], params[1])
+        if family == "grid":
+            return grid_of_committees(params[0], params[1])
+        if family == "complete":
+            return complete_hypergraph(params[0], params[1])
+        if family == "random":
+            n, m, size = params
+            return random_k_uniform_hypergraph(
+                n, m, committee_size=size, seed=self.seed
+            )
+        raise ValueError(f"unknown topology family {family!r}")
+
+    @property
+    def environment_spec(self) -> str:
+        """The drawn request model as an ``environment_from_spec`` string.
+
+        This is what campaign jobs carry and JSONL rows report, so the
+        in-process build path and the worker build path are one code path.
+        """
+        if self.environment == "probabilistic":
+            return f"probabilistic:{self.request_probability}"
+        if self.environment == "bursty":
+            return f"bursty:{self.active_steps}:{self.quiet_steps}"
+        return "always"
+
+    def build_environment(self) -> Environment:
+        # The RNG seed (scenario seed) keeps a spec run twice — or on two
+        # engines — drawing the same request stream.
+        return environment_from_spec(
+            self.environment_spec, self.discussion_steps, seed=self.seed
+        )
+
+    def build_daemon(self, seed: Optional[int] = None) -> Daemon:
+        """The daemon, seeded by the *run* seed (so one scenario can be run
+        under many schedules)."""
+        return daemon_from_name(self.daemon, seed=seed if seed is not None else self.seed)
+
+
+def random_scenario(seed: int) -> RandomScenarioSpec:
+    """Derive one randomized scenario deterministically from ``seed``.
+
+    Sizes stay small-to-mid (n ≈ 4..30) so a fuzz batch of dozens of
+    scenarios is tier-1-fast; campaigns that want production sizes mix in
+    the named stress scenarios instead.
+    """
+    rng = random.Random(seed * 9176 + 29)
+    family = rng.choice(TOPOLOGY_FAMILIES)
+    if family == "path":
+        params: Tuple[int, ...] = (rng.randint(3, 10), rng.choice((2, 2, 3)))
+    elif family == "cycle":
+        params = (rng.randint(3, 10), 2)
+    elif family == "star":
+        params = (rng.randint(2, 6), rng.randint(2, 3))
+    elif family == "grid":
+        params = (rng.randint(2, 4), rng.randint(2, 4))
+    elif family == "complete":
+        params = (rng.randint(4, 6), 2)
+    else:  # random k-uniform, connected by construction
+        n = rng.randint(6, 12)
+        size = rng.choice((2, 2, 3))
+        # Every professor must be coverable: m * size >= n.
+        min_committees = max(3, -(-n // size))
+        params = (n, rng.randint(min_committees, n), size)
+    environment = rng.choice(ENVIRONMENTS)
+    return RandomScenarioSpec(
+        seed=seed,
+        topology=family,
+        topology_params=params,
+        token=rng.choice(TOKENS),
+        daemon=rng.choice(("weakly_fair", "weakly_fair", "synchronous")),
+        environment=environment,
+        request_probability=rng.choice((0.3, 0.5, 0.7, 0.9)),
+        active_steps=rng.randint(8, 24),
+        quiet_steps=rng.randint(0, 12),
+        discussion_steps=rng.randint(1, 3),
+        arbitrary_start=rng.random() < 0.4,
+        fault_every=rng.choice((0, 0, 0, 17, 29)),
+        fault_fraction=rng.choice((0.3, 0.6)),
+    )
+
+
+def random_scenarios(count: int, base_seed: int = 0) -> List[RandomScenarioSpec]:
+    """``count`` randomized scenarios at consecutive seeds from ``base_seed``."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    return [random_scenario(base_seed + i) for i in range(count)]

@@ -28,6 +28,11 @@ The environments here realize these predicates operationally:
   Maximal Concurrency checker.
 * :class:`ScriptedEnvironment` -- fully scripted predicates; used to replay
   the paper's figures and the Theorem 1 adversarial execution.
+
+:func:`environment_from_spec` builds the first three from a compact spec
+string (``"always"``, ``"probabilistic[:P]"``, ``"bursty[:ACTIVE:QUIET]"``)
+— the vocabulary the campaign engine's jobs and the randomized scenarios
+share, so the two construction paths cannot drift.
 """
 
 from __future__ import annotations
@@ -331,3 +336,45 @@ class ScriptedEnvironment(_DoneCounterMixin, Environment):
         if pid in self._out_script:
             return bool(self._out_script[pid](configuration, self._step))
         return self.done_steps(pid) >= self._default_discussion
+
+
+def environment_from_spec(
+    spec: str,
+    discussion_steps: int = 1,
+    seed: Optional[int] = None,
+) -> Environment:
+    """Build an environment from a compact, JSONL/CLI-friendly spec string.
+
+    ``"always"``, ``"probabilistic[:P]"`` (default ``P=0.7``) or
+    ``"bursty[:ACTIVE:QUIET]"`` (defaults ``20:10``).  ``seed`` feeds the
+    probabilistic model's RNG through a fixed derivation (``seed * 31 + 7``)
+    so every caller — campaign jobs, randomized scenarios — draws the same
+    request stream for the same seed.  Raises :class:`ValueError` on an
+    unknown kind or malformed parameters, which the campaign matrix uses to
+    validate eagerly, before any worker is spawned.
+    """
+    kind, _, params = spec.partition(":")
+    try:
+        if kind == "always":
+            if params:
+                raise ValueError("'always' takes no parameters")
+            return AlwaysRequestingEnvironment(discussion_steps)
+        if kind == "probabilistic":
+            return ProbabilisticRequestEnvironment(
+                request_probability=float(params or "0.7"),
+                discussion_steps=discussion_steps,
+                seed=None if seed is None else seed * 31 + 7,
+            )
+        if kind == "bursty":
+            active, _, quiet = params.partition(":")
+            return BurstyRequestEnvironment(
+                active_steps=int(active or "20"),
+                quiet_steps=int(quiet or "10"),
+                discussion_steps=discussion_steps,
+            )
+    except ValueError as exc:
+        raise ValueError(f"bad environment spec {spec!r}: {exc}") from exc
+    raise ValueError(
+        f"unknown environment spec {spec!r}: expected 'always', "
+        "'probabilistic[:P]' or 'bursty[:ACTIVE:QUIET]'"
+    )

@@ -1,0 +1,140 @@
+"""End-to-end CLI tests: every subcommand driven through ``main()``.
+
+The unit tests in ``test_analysis_and_cli.py`` cover parsing and table
+shapes; these tests exercise the full pipelines — including the campaign
+subcommand's worker pool, JSONL output files and exit codes on
+violation/clean runs — exactly the way a shell invocation would.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunEndToEnd:
+    def test_run_exit_zero_and_metrics_table(self, capsys):
+        assert main(["run", "--scenario", "grid-3x3", "--algorithm", "cc3",
+                     "--steps", "300", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "CC3 on grid-3x3" in out
+        assert "meetings" in out
+
+    def test_run_engines_report_identical_metrics(self, capsys):
+        argv = ["run", "--scenario", "figure1", "--algorithm", "cc2",
+                "--steps", "250", "--seed", "3"]
+        assert main(argv + ["--engine", "dense"]) == 0
+        dense_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "incremental"]) == 0
+        incremental_out = capsys.readouterr().out
+        assert dense_out == incremental_out
+
+    def test_run_unknown_scenario_raises_key_error(self):
+        with pytest.raises(KeyError):
+            main(["run", "--scenario", "no-such-scenario"])
+
+
+class TestCheckEndToEnd:
+    def test_clean_check_exits_zero(self, capsys):
+        assert main(["check", "--scenario", "figure1", "--algorithm", "cc2",
+                     "--sparse", "--steps", "500"]) == 0
+        assert "Exclusion" in capsys.readouterr().out
+
+    def test_violation_drives_exit_one(self, capsys):
+        # Too short for every star committee to meet + a tiny grace window:
+        # Progress fails deterministically (same construction as docs/CLI.md).
+        code = main(["check", "--scenario", "star-5", "--algorithm", "cc1",
+                     "--steps", "6", "--grace", "2"])
+        assert code == 1
+        assert "Progress" in capsys.readouterr().out
+
+    def test_discussion_spec_rows_appear(self, capsys):
+        assert main(["check", "--scenario", "figure1", "--algorithm", "cc2",
+                     "--sparse", "--steps", "400", "--discussion-spec"]) == 0
+        out = capsys.readouterr().out
+        assert "EssentialDiscussion" in out
+        assert "VoluntaryDiscussion" in out
+
+
+class TestCompareEndToEnd:
+    def test_compare_exits_zero_with_all_contenders(self, capsys):
+        assert main(["compare", "--scenario", "figure1",
+                     "--steps", "200", "--rounds", "60"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cc1", "cc2", "cc3", "centralized-greedy", "kumar-tokens"):
+            assert name in out
+
+
+class TestCampaignEndToEnd:
+    def test_clean_campaign_writes_rows_and_exits_zero(self, capsys, tmp_path):
+        out_file = tmp_path / "rows.jsonl"
+        code = main([
+            "campaign", "--scenario", "figure1", "--algorithm", "cc2",
+            "--seeds", "2", "--steps", "150", "--out", str(out_file),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "Campaign: 2 runs" in printed
+        rows = [json.loads(line) for line in out_file.read_text().splitlines()]
+        assert len(rows) == 2
+        assert all(row["ok"] for row in rows)
+        assert [row["job"] for row in rows] == [0, 1]
+
+    def test_parallel_rows_byte_identical_through_cli(self, capsys, tmp_path):
+        serial_file = tmp_path / "serial.jsonl"
+        parallel_file = tmp_path / "parallel.jsonl"
+        argv = ["campaign", "--scenario", "figure1", "--scenario", "grid-3x3",
+                "--algorithm", "cc1", "--algorithm", "cc2",
+                "--seeds", "2", "--steps", "120"]
+        assert main(argv + ["--jobs", "1", "--out", str(serial_file)]) == 0
+        assert main(argv + ["--jobs", "2", "--out", str(parallel_file)]) == 0
+        capsys.readouterr()
+        assert serial_file.read_bytes() == parallel_file.read_bytes()
+
+    def test_fault_campaign_exits_one(self, capsys, tmp_path):
+        out_file = tmp_path / "rows.jsonl"
+        code = main([
+            "campaign", "--scenario", "figure1", "--algorithm", "cc2",
+            "--faults", "7:0.8", "--seed", "0", "--steps", "200",
+            "--out", str(out_file),
+        ])
+        capsys.readouterr()
+        assert code == 1
+        rows = [json.loads(line) for line in out_file.read_text().splitlines()]
+        assert any(not row["ok"] for row in rows)
+        assert any(row["violations"] > 0 for row in rows)
+
+    def test_randomized_campaign_runs(self, capsys):
+        code = main([
+            "campaign", "--random", "3", "--algorithm", "cc2",
+            "--steps", "120",
+        ])
+        printed = capsys.readouterr().out
+        assert code in (0, 1)  # drawn fault schedules may legitimately violate
+        assert "random-0" in printed
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        code = main(["campaign", "--scenario", "no-such-scenario", "--steps", "10"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "campaign:" in err
+
+    def test_bad_environment_exits_two(self, capsys):
+        code = main(["campaign", "--scenario", "figure1",
+                     "--environment", "warp", "--steps", "10"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "environment spec" in err
+
+    def test_timing_flag_adds_steps_per_sec(self, capsys, tmp_path):
+        out_file = tmp_path / "rows.jsonl"
+        assert main([
+            "campaign", "--scenario", "figure1", "--steps", "100",
+            "--out", str(out_file), "--timing",
+        ]) == 0
+        capsys.readouterr()
+        row = json.loads(out_file.read_text().splitlines()[0])
+        assert row["steps_per_sec"] > 0

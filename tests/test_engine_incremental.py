@@ -44,6 +44,78 @@ ALGORITHMS = ("cc1", "cc2", "cc3")
 TOKENS = ("tree", "ring", "oracle")
 
 
+class TestEnvironmentSensitiveIndex:
+    """The status index must be invisible: traces identical with and without.
+
+    ``environment_sensitive_variables = None`` restores the per-step
+    ``environment_sensitive_processes`` scan; the maintained index must make
+    exactly the same refresh decisions, including across status flips driven
+    by stateful environments and across mid-run corruption (which rebuilds
+    the index via ``set_configuration``).
+    """
+
+    @staticmethod
+    def _run_pair(environment_factory, algorithm="cc2", steps=250, corrupt_every=0):
+        from repro.core.cc2 import CC2Algorithm
+        from repro.kernel.faults import FaultInjector
+
+        results = []
+        for disable_index in (False, True):
+            hypergraph = figure1_hypergraph()
+            coordinator = CommitteeCoordinator(
+                hypergraph, algorithm=algorithm, seed=5, engine="incremental"
+            )
+            algo = coordinator.algorithm
+            if disable_index:
+                # Per-instance override: the scheduler reads the attribute at
+                # construction, so this disables the index for this run only.
+                algo.environment_sensitive_variables = None
+            scheduler = Scheduler(
+                algo,
+                environment=environment_factory(),
+                daemon=WeaklyFairDaemon(SynchronousDaemon()),
+                record_configurations=True,
+                engine="incremental",
+            )
+            injector = FaultInjector(algo, fraction=0.5, seed=7) if corrupt_every else None
+            while scheduler.step_index < steps:
+                if (
+                    injector is not None
+                    and scheduler.step_index
+                    and scheduler.step_index % corrupt_every == 0
+                ):
+                    injector.corrupt_scheduler(scheduler)
+                if scheduler.step() is None:
+                    break
+            results.append(scheduler)
+        return results
+
+    def test_identical_with_always_requesting(self):
+        from repro.workloads.request_models import AlwaysRequestingEnvironment
+
+        with_index, without_index = self._run_pair(lambda: AlwaysRequestingEnvironment(2))
+        assert tuple(with_index.trace.steps) == tuple(without_index.trace.steps)
+        assert with_index.configuration == without_index.configuration
+
+    def test_identical_with_probabilistic_requests(self):
+        from repro.workloads.request_models import ProbabilisticRequestEnvironment
+
+        with_index, without_index = self._run_pair(
+            lambda: ProbabilisticRequestEnvironment(0.5, seed=3), algorithm="cc1"
+        )
+        assert tuple(with_index.trace.steps) == tuple(without_index.trace.steps)
+        assert with_index.configuration == without_index.configuration
+
+    def test_identical_across_mid_run_corruption(self):
+        from repro.workloads.request_models import AlwaysRequestingEnvironment
+
+        with_index, without_index = self._run_pair(
+            lambda: AlwaysRequestingEnvironment(1), corrupt_every=23
+        )
+        assert tuple(with_index.trace.steps) == tuple(without_index.trace.steps)
+        assert with_index.configuration == without_index.configuration
+
+
 def _run(algorithm: str, token: str, engine: str, **kwargs):
     coordinator = CommitteeCoordinator(
         figure1_hypergraph(), algorithm=algorithm, token=token, seed=13, engine=engine

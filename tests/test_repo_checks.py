@@ -37,6 +37,35 @@ def test_cli_docs_match_parser():
     assert check_repo.check_cli_docs() == []
 
 
+def test_perf_rows_match_schemas():
+    assert check_repo.check_perf_rows() == []
+
+
+def test_spawn_entry_points_resolvable():
+    assert check_repo.check_spawn_entry_points() == []
+
+
+def test_perf_row_checker_catches_drift(tmp_path, monkeypatch):
+    # The schema checker must actually bite: unknown bench names, missing
+    # fields and malformed lines all surface as errors.
+    rows = tmp_path / "perf_rows.jsonl"
+    rows.write_text(
+        '{"bench": "engine_scaling", "engine": "dense", "n": 1, "steps": 2, '
+        '"steps_per_sec": 3.0, "timestamp": 1.0}\n'          # ok
+        '{"bench": "mystery_bench", "timestamp": 1.0}\n'     # unknown bench
+        '{"bench": "campaign_scaling", "timestamp": 1.0}\n'  # missing fields
+        "not json at all\n"                                  # malformed
+        '{"engine": "dense", "timestamp": 1.0}\n'            # no bench
+    )
+    monkeypatch.setattr(check_repo, "PERF_ROWS_PATH", rows)
+    errors = check_repo.check_perf_rows()
+    assert len(errors) == 4
+    assert any("mystery_bench" in e for e in errors)
+    assert any("missing field" in e for e in errors)
+    assert any("not valid JSON" in e for e in errors)
+    assert any("missing string 'bench'" in e for e in errors)
+
+
 def test_checks_catch_drift():
     # The flag checker must actually bite: an undocumented-but-real flag set
     # and a documented-but-fake flag both surface as errors.

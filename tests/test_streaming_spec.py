@@ -555,6 +555,63 @@ class TestRunnerCheckMode:
         assert all(row["holds"] for row in rows)
 
 
+class TestStreamingDiscussion:
+    """Suite wiring of the streaming 2-phase discussion monitors."""
+
+    def test_disabled_by_default(self):
+        outcome = CommitteeCoordinator(figure1_hypergraph(), algorithm="cc2", seed=1).run(
+            max_steps=100, check=True
+        )
+        spec = outcome.spec
+        assert spec.essential is None and spec.voluntary is None
+        assert [row["property"] for row in spec.as_rows()] == [
+            "Exclusion", "Synchronization", "Progress",
+        ]
+
+    def test_enabled_rows_and_all_hold(self):
+        outcome = CommitteeCoordinator(figure1_hypergraph(), algorithm="cc2", seed=1).run(
+            max_steps=400, record_configurations=False, check=True, check_discussion=True
+        )
+        spec = outcome.spec
+        assert [row["property"] for row in spec.as_rows()] == [
+            "Exclusion", "Synchronization", "Progress",
+            "EssentialDiscussion", "VoluntaryDiscussion",
+        ]
+        assert spec.essential.holds and spec.voluntary.holds
+        assert spec.all_hold
+
+    def test_discussion_failure_fails_all_hold(self):
+        # Seeded corruption fabricates/dissolves meetings, so the discussion
+        # checkers fail together with the safety monitors — and the failure
+        # must be visible through ``all_hold``.
+        from repro.spec.discussion import (
+            check_essential_discussion,
+            check_voluntary_discussion,
+        )
+
+        hypergraph, algorithm, scheduler = _build(
+            "cc2", "tree", seed=3, engine="dense", record=True
+        )
+        suite = StreamingSpecSuite(hypergraph, check_discussion=True)
+        scheduler.add_step_listener(suite.observe_step)
+        injector = FaultInjector(algorithm, fraction=0.7, seed=9)
+        while scheduler.step_index < 300:
+            if scheduler.step_index and scheduler.step_index % 11 == 0:
+                injector.corrupt_scheduler(scheduler)
+            try:
+                if scheduler.step() is None:
+                    break
+            except StopRun:
+                break
+        verdicts = suite.verdicts()
+        dense_essential = check_essential_discussion(scheduler.trace, hypergraph)
+        dense_voluntary = check_voluntary_discussion(scheduler.trace, hypergraph)
+        assert verdicts.essential == dense_essential
+        assert verdicts.voluntary == dense_voluntary
+        assert not dense_essential.holds  # the scenario actually bites
+        assert not verdicts.all_hold
+
+
 class TestCheckCli:
     def test_check_command_sparse_incremental(self, capsys):
         code = cli_main([

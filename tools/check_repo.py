@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo hygiene checks, tier-1-safe (fast, no network, no state mutation).
 
-Three checks, each returning a list of human-readable error strings:
+Five checks, each returning a list of human-readable error strings:
 
 * ``check_no_tracked_bytecode`` — no ``.pyc`` / ``__pycache__`` entries ever
   re-enter the git index (they were purged once; ``.gitignore`` keeps new
@@ -10,9 +10,18 @@ Three checks, each returning a list of human-readable error strings:
   ``docs/*.md`` resolves to an existing file, and every backticked
   ``repro.foo.bar`` dotted name names an importable module (or an attribute
   of one), so the architecture tables cannot drift from the package layout;
-* ``check_cli_docs`` — ``docs/CLI.md`` documents every ``--flag`` of the
-  ``repro-cc run``/``check`` subcommands and mentions no flag the parser
-  does not define, introspected live from ``repro.cli.build_parser()``.
+* ``check_cli_docs`` — ``docs/CLI.md`` documents every ``--flag`` of every
+  ``repro-cc`` subcommand (each in its own section) and mentions no flag
+  the parser does not define, introspected live from
+  ``repro.cli.build_parser()``;
+* ``check_perf_rows`` — every line of ``benchmarks/perf_rows.jsonl`` is a
+  JSON object matching the per-bench schema registry (``PERF_ROW_SCHEMAS``),
+  so perf rows stay machine-readable across commits and a new bench cannot
+  emit rows nobody can aggregate;
+* ``check_spawn_entry_points`` — every dotted name the campaign engine hands
+  to ``multiprocessing`` (``repro.campaign.SPAWN_ENTRY_POINTS``) is a
+  module-top-level callable that pickles by reference, i.e. resolvable from
+  a spawn-context worker; a sample expanded ``RunJob`` must round-trip too.
 
 Run standalone (``python tools/check_repo.py``, exit 1 on failure) or from
 the test suite (``tests/test_repo_checks.py`` calls :func:`run_checks`).
@@ -23,6 +32,8 @@ from __future__ import annotations
 import argparse
 import importlib
 import importlib.util
+import json
+import pickle
 import re
 import subprocess
 import sys
@@ -199,12 +210,130 @@ def check_cli_docs() -> List[str]:
 
 
 # --------------------------------------------------------------------------- #
+# 4. perf_rows.jsonl row schemas
+# --------------------------------------------------------------------------- #
+PERF_ROWS_PATH = REPO_ROOT / "benchmarks" / "perf_rows.jsonl"
+
+#: bench name -> required row fields (beyond the universal bench/timestamp).
+#: A bench that starts emitting rows must register its schema here, so the
+#: perf trajectory stays aggregatable; unregistered bench names fail.
+PERF_ROW_SCHEMAS: Dict[str, Set[str]] = {
+    "engine_scaling": {"engine", "n", "steps", "steps_per_sec"},
+    "streaming_spec_overhead": {
+        "engine", "kind", "n", "overhead", "scenario", "steps", "steps_per_sec"
+    },
+    "campaign_scaling": {"jobs", "runs", "total_steps", "seconds", "runs_per_sec"},
+}
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def check_perf_rows() -> List[str]:
+    if not PERF_ROWS_PATH.is_file():
+        return []  # nothing recorded yet (fresh clone before any bench run)
+    errors: List[str] = []
+    try:
+        rel = PERF_ROWS_PATH.relative_to(REPO_ROOT)
+    except ValueError:  # a test pointed PERF_ROWS_PATH outside the repo
+        rel = PERF_ROWS_PATH
+    for lineno, line in enumerate(
+        PERF_ROWS_PATH.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{rel}:{lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(row, dict):
+            errors.append(f"{rel}:{lineno}: row is not a JSON object")
+            continue
+        bad_values = [k for k, v in row.items() if not isinstance(v, _SCALAR_TYPES)]
+        if bad_values:
+            errors.append(f"{rel}:{lineno}: non-scalar field(s) {bad_values}")
+        if not isinstance(row.get("timestamp"), (int, float)):
+            errors.append(f"{rel}:{lineno}: missing numeric 'timestamp'")
+        bench = row.get("bench")
+        if not isinstance(bench, str):
+            errors.append(f"{rel}:{lineno}: missing string 'bench'")
+            continue
+        schema = PERF_ROW_SCHEMAS.get(bench)
+        if schema is None:
+            errors.append(
+                f"{rel}:{lineno}: unknown bench {bench!r} "
+                "(register its row schema in tools/check_repo.py PERF_ROW_SCHEMAS)"
+            )
+            continue
+        missing = schema - set(row)
+        if missing:
+            errors.append(
+                f"{rel}:{lineno}: bench {bench!r} row missing field(s) {sorted(missing)}"
+            )
+    return errors
+
+
+# --------------------------------------------------------------------------- #
+# 5. multiprocessing entry points resolvable from a spawn context
+# --------------------------------------------------------------------------- #
+def check_spawn_entry_points() -> List[str]:
+    """A spawn-context worker re-imports modules and resolves functions by
+    dotted name via pickle; anything nested, lambda-valued or renamed breaks
+    ``repro-cc campaign --jobs N`` at runtime.  Verify the declared entry
+    points (and a sample expanded job payload) round-trip *here*, in tier-1.
+    """
+    if str(SRC_DIR) not in sys.path:
+        sys.path.insert(0, str(SRC_DIR))
+    errors: List[str] = []
+    try:
+        campaign = importlib.import_module("repro.campaign")
+    except Exception as exc:  # pragma: no cover - import breakage shows everywhere
+        return [f"cannot import repro.campaign: {exc!r}"]
+    for dotted in getattr(campaign, "SPAWN_ENTRY_POINTS", ()):
+        module_name, _, attr = dotted.rpartition(".")
+        try:
+            module = importlib.import_module(module_name)
+        except Exception as exc:
+            errors.append(f"spawn entry point {dotted}: module import failed ({exc!r})")
+            continue
+        func = getattr(module, attr, None)
+        if func is None or not callable(func):
+            errors.append(f"spawn entry point {dotted}: not a module-level callable")
+            continue
+        if getattr(func, "__qualname__", attr) != attr:
+            errors.append(
+                f"spawn entry point {dotted}: nested callable "
+                f"({func.__qualname__}) cannot be resolved by a spawned worker"
+            )
+            continue
+        try:
+            if pickle.loads(pickle.dumps(func)) is not func:
+                errors.append(f"spawn entry point {dotted}: pickle does not round-trip by reference")
+        except Exception as exc:
+            errors.append(f"spawn entry point {dotted}: not picklable ({exc!r})")
+    # The payload must survive the trip too: expand a tiny matrix and
+    # round-trip one job.
+    try:
+        matrix = importlib.import_module("repro.campaign.matrix")
+        jobs = matrix.expand_jobs(
+            matrix.CampaignSpec(scenarios=("figure1",), max_steps=1)
+        )
+        if pickle.loads(pickle.dumps(jobs[0])) != jobs[0]:
+            errors.append("RunJob pickle round-trip is not value-identical")
+    except Exception as exc:
+        errors.append(f"RunJob spawn payload check failed: {exc!r}")
+    return errors
+
+
+# --------------------------------------------------------------------------- #
 # driver
 # --------------------------------------------------------------------------- #
 CHECKS: List[Callable[[], List[str]]] = [
     check_no_tracked_bytecode,
     check_doc_links,
     check_cli_docs,
+    check_perf_rows,
+    check_spawn_entry_points,
 ]
 
 
