@@ -19,8 +19,9 @@ Two invariants are asserted:
 from __future__ import annotations
 
 import os
+import tempfile
 
-from repro.campaign import CampaignSpec, FaultSchedule, run_campaign
+from repro.campaign import CampaignSpec, FaultSchedule, JsonlSink, run_campaign
 
 #: 3 scenarios x 2 algorithms x 2 seeds x 2 fault schedules = 24 jobs.
 MATRIX = CampaignSpec(
@@ -89,8 +90,79 @@ def test_campaign_scaling(report, perf_row):
         )
 
 
+#: Smaller matrix for the sink-overhead comparison: the question is the
+#: per-row cost of the streaming JSONL sink (a dumps + line-buffered write
+#: per completed job), so job count matters more than per-job length.
+SINK_MATRIX = CampaignSpec(
+    scenarios=("figure1", "path-6"),
+    algorithms=("cc1", "cc2"),
+    seeds=(1, 2, 3),
+    max_steps=800,
+)
+#: Streaming each row may cost at most this fraction of campaign wall-clock.
+MAX_SINK_OVERHEAD = 0.15
+#: Best-of-3 interleaved sampling (the bench_streaming_spec.py pattern):
+#: alternating none/jsonl within each rep keeps machine drift from loading
+#: one variant, and the per-variant minimum discards GC/scheduler noise.
+SINK_SAMPLE_REPS = 3
+
+
+def run_sink_overhead(perf_emit, out_path):
+    best = {}
+    last = {}
+    for _ in range(SINK_SAMPLE_REPS):
+        for label, sink in (("none", None), ("jsonl", JsonlSink(out_path))):
+            result = run_campaign(SINK_MATRIX, jobs=1, sink=sink)
+            if sink is not None:
+                sink.close()
+            last[label] = result
+            best[label] = min(best.get(label, result.elapsed_seconds), result.elapsed_seconds)
+    overhead = round(best["jsonl"] / best["none"] - 1.0, 4)
+    rows = []
+    for label in ("none", "jsonl"):
+        perf_emit(
+            {
+                "bench": "campaign_sink_overhead",
+                "sink": label,
+                "runs": len(last[label].results),
+                "total_steps": last[label].total_steps,
+                "seconds": round(best[label], 3),
+                "runs_per_sec": round(len(last[label].results) / best[label], 2),
+                "overhead": 0.0 if label == "none" else overhead,
+            }
+        )
+        rows.append(
+            {
+                "sink": label,
+                "runs": len(last[label].results),
+                "best wall s": round(best[label], 3),
+                "overhead": "-" if label == "none" else f"{overhead:+.1%}",
+            }
+        )
+    return rows, best, last
+
+
+def test_campaign_sink_overhead(report, perf_row, tmp_path):
+    out_path = str(tmp_path / "rows.jsonl")
+    rows, best, last = run_sink_overhead(perf_row, out_path)
+    report("Campaign sink overhead: streaming JSONL vs no sink (best of 3)", rows)
+    # The streamed file must hold exactly the campaign's rows, in completion
+    # order (== job order for jobs=1): crash-safety costs bytes, not truth.
+    with open(out_path, "r", encoding="utf-8") as fh:
+        streamed = fh.read().splitlines()
+    assert streamed == last["jsonl"].jsonl_lines()
+    overhead = best["jsonl"] / best["none"] - 1.0
+    assert overhead <= MAX_SINK_OVERHEAD, (
+        f"streaming JSONL sink cost {overhead:.1%} of campaign wall-clock; "
+        f"ceiling is {MAX_SINK_OVERHEAD:.0%}"
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - manual perf runs
     from conftest import emit, emit_json_row
 
     table, _ = run_scaling(emit_json_row)
     emit("Campaign scaling", table)
+    with tempfile.TemporaryDirectory() as tmp:
+        sink_table, _, _ = run_sink_overhead(emit_json_row, os.path.join(tmp, "rows.jsonl"))
+    emit("Campaign sink overhead", sink_table)

@@ -15,14 +15,41 @@ Rows are **deterministic**: a campaign's JSONL output is byte-identical for
 any worker count (timing lives outside the rows unless explicitly asked
 for), so campaign outputs diff cleanly across commits.
 
+Rows are also **crash-safe**: the runner hands every row to an optional
+:class:`~repro.campaign.sinks.RowSink` in completion order the moment its
+job finishes (line-buffered JSONL file, TCP/Unix socket stream, in-memory
+buffer), worker exceptions become ``status="error"`` rows instead of
+killing the pool, :mod:`repro.campaign.resume` re-ingests a partial JSONL
+stream so ``repro-cc campaign --resume`` executes only the missing jobs,
+and :mod:`repro.campaign.adaptive` re-expands cells whose verdicts
+disagree across seeds with fresh seeds.
+
 Layers: ``matrix`` (the declarative spec and its expansion), ``jobs`` (the
 picklable run job + the spawn-safe worker entry point), ``runner`` (the
-pool driver and aggregation).  The CLI front end is ``repro-cc campaign``.
+pool driver and aggregation), ``sinks``/``resume``/``adaptive`` (the
+persistence layer).  The CLI front end is ``repro-cc campaign``.
 """
 
-from repro.campaign.jobs import JobResult, RunJob, execute_job
+from repro.campaign.adaptive import disagreement_cells, rerun_jobs
+from repro.campaign.jobs import JobResult, RunJob, error_result, execute_job
 from repro.campaign.matrix import CampaignSpec, FaultSchedule, expand_jobs
+from repro.campaign.resume import (
+    ResumeError,
+    merge_results,
+    read_rows,
+    remaining_jobs,
+    validate_rows_match_jobs,
+)
 from repro.campaign.runner import CampaignResult, run_campaign
+from repro.campaign.sinks import (
+    BufferedSink,
+    JsonlSink,
+    RowSink,
+    SINK_TYPES,
+    SocketSink,
+    TeeSink,
+    sink_from_spec,
+)
 
 #: Dotted names handed to ``multiprocessing`` workers.  ``tools/check_repo.py``
 #: verifies each is a module-top-level callable that pickle round-trips —
@@ -31,13 +58,28 @@ from repro.campaign.runner import CampaignResult, run_campaign
 SPAWN_ENTRY_POINTS = ("repro.campaign.jobs.execute_job",)
 
 __all__ = [
+    "BufferedSink",
     "CampaignResult",
     "CampaignSpec",
     "FaultSchedule",
     "JobResult",
+    "JsonlSink",
+    "ResumeError",
+    "RowSink",
     "RunJob",
+    "SINK_TYPES",
     "SPAWN_ENTRY_POINTS",
+    "SocketSink",
+    "TeeSink",
+    "disagreement_cells",
+    "error_result",
     "execute_job",
     "expand_jobs",
+    "merge_results",
+    "read_rows",
+    "remaining_jobs",
+    "rerun_jobs",
     "run_campaign",
+    "sink_from_spec",
+    "validate_rows_match_jobs",
 ]

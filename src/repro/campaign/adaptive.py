@@ -1,0 +1,97 @@
+"""Adaptive re-runs: grow the seed set of cells whose verdicts disagree.
+
+A campaign cell (one point of the matrix with the seed axis projected
+out) that reports ``ok=True`` under one seed and ``ok=False`` under
+another is exactly where more evidence is cheapest to buy: the verdict is
+seed-sensitive, so a handful of fresh seeds either tips the cell into
+"reliably violating" or exposes the original violation as a rare
+schedule.  ``repro-cc campaign --rerun-disagreements`` runs this pass
+once, after the base matrix:
+
+* :func:`disagreement_cells` groups results by cell and keeps the cells
+  whose completed (non-error) runs disagree on ``ok``;
+* :func:`rerun_jobs` re-expands each such cell with **fresh seeds
+  appended deterministically** — as many new seeds as the cell originally
+  had, numbered consecutively from one past its highest seed — and
+  assigns job indices continuing after the existing jobs, so the extra
+  rows extend the same JSONL stream and the whole (base + re-run) output
+  is still a pure function of the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.jobs import JobResult, RunJob
+
+#: The cell identity: every RunJob field except ``index`` and ``seed``.
+CELL_FIELDS = (
+    "scenario",
+    "random_seed",
+    "algorithm",
+    "token",
+    "engine",
+    "daemon",
+    "environment",
+    "discussion_steps",
+    "max_steps",
+    "arbitrary_start",
+    "fault_every",
+    "fault_fraction",
+    "grace_steps",
+)
+
+
+def cell_key(job: RunJob) -> Tuple[object, ...]:
+    """The matrix cell a job belongs to (all axes, seed projected out)."""
+    return tuple(getattr(job, field) for field in CELL_FIELDS)
+
+
+def disagreement_cells(
+    jobs: Sequence[RunJob], results: Sequence[JobResult]
+) -> List[List[Tuple[RunJob, JobResult]]]:
+    """Cells whose completed runs disagree on ``ok``, in first-job order.
+
+    Error rows are excluded from the comparison — a worker exception is a
+    harness failure, not a verdict — but do not hide a disagreement among
+    the cell's completed runs.
+    """
+    by_index = {result.index: result for result in results}
+    cells: Dict[Tuple[object, ...], List[Tuple[RunJob, JobResult]]] = {}
+    for job in jobs:
+        result = by_index.get(job.index)
+        if result is not None:
+            cells.setdefault(cell_key(job), []).append((job, result))
+    disagreeing = []
+    for pairs in cells.values():
+        verdicts = {
+            result.ok for _, result in pairs if result.status != "error"
+        }
+        if len(verdicts) > 1:
+            disagreeing.append(pairs)
+    disagreeing.sort(key=lambda pairs: pairs[0][0].index)
+    return disagreeing
+
+
+def rerun_jobs(
+    jobs: Sequence[RunJob],
+    results: Sequence[JobResult],
+    next_index: Optional[int] = None,
+) -> List[RunJob]:
+    """Fresh-seed jobs for every disagreeing cell, deterministically indexed.
+
+    ``next_index`` defaults to one past the highest existing job index, so
+    the re-run rows append cleanly to the base campaign's JSONL stream.
+    """
+    if next_index is None:
+        next_index = max((job.index for job in jobs), default=-1) + 1
+    extra: List[RunJob] = []
+    for pairs in disagreement_cells(jobs, results):
+        seeds = sorted({job.seed for job, _ in pairs})
+        start = seeds[-1] + 1
+        for offset in range(len(seeds)):
+            extra.append(
+                replace(pairs[0][0], index=next_index + len(extra), seed=start + offset)
+            )
+    return extra

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.core.runner import CommitteeCoordinator
 from repro.hypergraph.hypergraph import Hypergraph
@@ -88,13 +88,120 @@ class JobResult:
 
     @property
     def steps_per_sec(self) -> float:
-        return self.steps / self.elapsed_seconds if self.elapsed_seconds > 0 else float("inf")
+        # 0.0, not inf, when no wall time was recorded (zero-elapsed clock
+        # resolution, synthesized resume rows): ``json.dumps(float("inf"))``
+        # emits ``Infinity``, which is not RFC 8259 JSON.
+        return self.steps / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    @property
+    def status(self) -> str:
+        """``"ok"``, ``"violation"`` or ``"error"`` (worker exception)."""
+        return str(self.row.get("status") or ("ok" if self.ok else "violation"))
+
+    def output_row(self, include_timing: bool = False) -> Dict[str, object]:
+        """The row as it is serialized: optionally timing-augmented.
+
+        Used by both the streaming sinks (completion order) and the final
+        JSONL rewrite (job order), so the two byte-match per row.
+        """
+        row = dict(self.row)
+        if include_timing:
+            row["steps_per_sec"] = round(self.steps_per_sec, 1)
+        return row
+
+
+#: row key -> :class:`RunJob` attribute, for the identity block present in
+#: *every* row — error rows included.  This is the single source of truth
+#: shared by the row emitters below and by
+#: :func:`repro.campaign.resume.validate_rows_match_jobs`: every RunJob
+#: field appears here, so a persisted row pins down the *entire* run shape
+#: (fault fraction, step budget, grace window, ...) and ``--resume``
+#: against a matrix that differs in any of them is rejected instead of
+#: silently mixing two campaigns.
+ROW_IDENTITY_ATTRS = {
+    "job": "index",
+    "scenario": "scenario",
+    "random_seed": "random_seed",
+    "algorithm": "algorithm",
+    "token": "token",
+    "engine": "engine",
+    "daemon": "daemon",
+    "environment": "environment",
+    "discussion_steps": "discussion_steps",
+    "seed": "seed",
+    "max_steps": "max_steps",
+    "arbitrary": "arbitrary_start",
+    "fault_every": "fault_every",
+    "fault_fraction": "fault_fraction",
+    "grace_steps": "grace_steps",
+}
+
+#: Identity fields present in *every* row, so any row maps back to its
+#: matrix cell and job index (the resume contract).
+ROW_IDENTITY_FIELDS = tuple(ROW_IDENTITY_ATTRS)
+
+#: Metric fields a completed (non-error) run reports.
+ROW_RESULT_FIELDS = (
+    "steps",
+    "rounds",
+    "stop_reason",
+    "meetings",
+    "peak_conc",
+    "mean_conc",
+    "min_part",
+    "max_part",
+    "jain",
+    "starved_professors",
+    "starved_committees",
+)
+
+#: Verdict fields a completed (non-error) run reports.
+ROW_VERDICT_FIELDS = (
+    "exclusion",
+    "synchronization",
+    "progress",
+    "essential_discussion",
+    "voluntary_discussion",
+    "violations",
+    "first_violation",
+    "status",
+    "ok",
+)
+
+#: The exact key set of a completed run's row (``tools/check_repo.py``
+#: asserts :func:`execute_job` emits precisely these, and that the resume
+#: module round-trips them byte-identically).
+ROW_FIELDS = ROW_IDENTITY_FIELDS + ROW_RESULT_FIELDS + ROW_VERDICT_FIELDS
+
+#: The exact key set of an error row (worker exception captured per-job).
+ERROR_ROW_FIELDS = ROW_IDENTITY_FIELDS + ("status", "error", "ok")
 
 
 _REPORT_KEYS = {
     "EssentialDiscussion": "essential_discussion",
     "VoluntaryDiscussion": "voluntary_discussion",
 }
+
+
+def _identity_fields(job: RunJob) -> Dict[str, object]:
+    return {key: getattr(job, attr) for key, attr in ROW_IDENTITY_ATTRS.items()}
+
+
+def error_result(job: RunJob, exc: BaseException, elapsed_seconds: float = 0.0) -> JobResult:
+    """An error-carrying :class:`JobResult` for a job whose run raised.
+
+    The row keeps the full identity block (so resume/aggregation still map
+    it to its cell) plus ``status="error"`` and a deterministic
+    ``"ExcType: message"`` string — no traceback, no timestamps, so error
+    rows stay byte-identical across worker counts and re-runs.
+    """
+    row: Dict[str, object] = _identity_fields(job)
+    row["status"] = "error"
+    row["error"] = f"{type(exc).__name__}: {exc}"
+    row["ok"] = False
+    return JobResult(
+        index=job.index, row=row, steps=0, elapsed_seconds=elapsed_seconds, ok=False
+    )
 
 
 def _verdict_fields(verdicts: SpecVerdicts) -> Dict[str, object]:
@@ -128,7 +235,21 @@ def execute_job(job: RunJob) -> JobResult:
     module-top-level function (``tools/check_repo.py`` enforces spawn-context
     picklability).  The returned row is a pure function of the job — no
     timestamps, no machine-dependent values.
+
+    **Never raises**: any exception from the run becomes an error row
+    (``status="error"``) via :func:`error_result`, because an exception
+    escaping a worker aborts the whole ``imap_unordered`` drain and loses
+    every completed result with it.  The runner surfaces error rows in the
+    summary and the CLI exits 3 when any are present.
     """
+    start = time.perf_counter()
+    try:
+        return _run_job(job)
+    except Exception as exc:
+        return error_result(job, exc, elapsed_seconds=time.perf_counter() - start)
+
+
+def _run_job(job: RunJob) -> JobResult:
     hypergraph = job.build_hypergraph()
     coordinator = CommitteeCoordinator(
         hypergraph,
@@ -185,17 +306,8 @@ def execute_job(job: RunJob) -> JobResult:
     metrics = collector.metrics(scheduler.trace)
     verdicts = suite.verdicts()
     fairness = verdicts.fairness
-    row: Dict[str, object] = {
-        "job": job.index,
-        "scenario": job.scenario,
-        "algorithm": job.algorithm,
-        "token": job.token,
-        "engine": job.engine,
-        "daemon": job.daemon,
-        "environment": job.environment,
-        "seed": job.seed,
-        "arbitrary": job.arbitrary_start,
-        "fault_every": job.fault_every,
+    row: Dict[str, object] = _identity_fields(job)
+    row.update({
         "steps": scheduler.step_index,
         "rounds": metrics.rounds,
         "stop_reason": stop_reason,
@@ -207,8 +319,9 @@ def execute_job(job: RunJob) -> JobResult:
         "jain": round(fairness.professor_jain_index(), 6),
         "starved_professors": len(fairness.starved_professors),
         "starved_committees": len(fairness.starved_committees),
-    }
+    })
     row.update(_verdict_fields(verdicts))
+    row["status"] = "ok" if verdicts.all_hold else "violation"
     row["ok"] = verdicts.all_hold
     return JobResult(
         index=job.index,

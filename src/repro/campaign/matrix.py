@@ -58,15 +58,18 @@ class FaultSchedule:
         if text in ("", "none", "0"):
             return cls()
         every, sep, fraction = text.partition(":")
+        # Only conversion failures are format errors; range errors from
+        # __post_init__ ("every must be >= 0", "fraction must be in (0, 1]")
+        # propagate with their own, more specific message — "-5:0.5" is
+        # well-formed, its *value* is what is wrong.
         try:
-            return cls(
-                every=int(every),
-                fraction=float(fraction) if sep else 0.5,
-            )
+            every_value = int(every)
+            fraction_value = float(fraction) if sep else 0.5
         except ValueError as exc:
             raise ValueError(
                 f"bad fault schedule {text!r}: expected 'none' or 'EVERY:FRACTION'"
             ) from exc
+        return cls(every=every_value, fraction=fraction_value)
 
 
 @dataclass(frozen=True)

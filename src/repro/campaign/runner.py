@@ -14,6 +14,13 @@ carried *next to* the rows (:attr:`~repro.campaign.jobs.JobResult.elapsed_second
 and only enters the JSONL when ``include_timing=True`` is requested
 explicitly.
 
+Crash safety rides on top of that contract: pass a
+:class:`~repro.campaign.sinks.RowSink` and every row is handed over in
+*completion* order the moment its job finishes (the job index travels
+in-row), worker exceptions become ``status="error"`` rows instead of pool
+death, and :mod:`repro.campaign.resume` turns a partial JSONL stream back
+into the remaining jobs.
+
 The pool uses the ``spawn`` start method by default: it is the only method
 available everywhere and the strictest about what a worker can receive,
 which keeps :func:`~repro.campaign.jobs.execute_job` honest (enforced by
@@ -23,7 +30,6 @@ per-worker interpreter start-up dominates very small campaigns.
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import time
 from dataclasses import dataclass
@@ -31,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.campaign.jobs import JobResult, RunJob, execute_job
 from repro.campaign.matrix import CampaignSpec, expand_jobs
+from repro.campaign.sinks import RowSink, row_line
 
 
 @dataclass
@@ -49,12 +56,17 @@ class CampaignResult:
 
     @property
     def violations(self) -> int:
-        """Number of runs in which some checked property failed."""
-        return sum(1 for result in self.results if not result.ok)
+        """Number of completed runs in which some checked property failed."""
+        return sum(1 for result in self.results if result.status == "violation")
+
+    @property
+    def errors(self) -> int:
+        """Number of runs whose worker raised (``status="error"`` rows)."""
+        return sum(1 for result in self.results if result.status == "error")
 
     @property
     def ok(self) -> bool:
-        return self.violations == 0
+        return self.violations == 0 and self.errors == 0
 
     @property
     def total_steps(self) -> int:
@@ -62,8 +74,12 @@ class CampaignResult:
 
     @property
     def steps_per_sec(self) -> float:
-        """Campaign-level throughput: executed steps per wall-clock second."""
-        return self.total_steps / self.elapsed_seconds if self.elapsed_seconds > 0 else float("inf")
+        """Campaign-level throughput: executed steps per wall-clock second.
+
+        0.0 (not inf) when no wall-clock was recorded — ``Infinity`` is not
+        valid JSON and poisons the summary table.
+        """
+        return self.total_steps / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
 
     def jsonl_lines(self, include_timing: bool = False) -> List[str]:
         """One sorted-key JSON object per run.
@@ -73,13 +89,7 @@ class CampaignResult:
         breaks the byte-identical-across-worker-counts guarantee and is off
         by default.
         """
-        lines: List[str] = []
-        for result in self.results:
-            row = dict(result.row)
-            if include_timing:
-                row["steps_per_sec"] = round(result.steps_per_sec, 1)
-            lines.append(json.dumps(row, sort_keys=True))
-        return lines
+        return [row_line(result.output_row(include_timing)) for result in self.results]
 
     def write_jsonl(self, path: str, include_timing: bool = False) -> None:
         with open(path, "w", encoding="utf-8") as fh:
@@ -95,22 +105,30 @@ class CampaignResult:
         range across the cell's runs).
         """
         cells: Dict[tuple, List[JobResult]] = {}
-        for job, result in zip(self.jobs, self.results):
-            cells.setdefault((job.scenario, job.algorithm), []).append(result)
+        for result in self.results:
+            # Cell identity comes from the row itself (identity fields are
+            # present on every row, error and resumed rows included), so
+            # merged results need not align index-for-index with ``jobs``.
+            cells.setdefault((result.row["scenario"], result.row["algorithm"]), []).append(result)
         rows: List[Dict[str, object]] = []
         for (scenario, algorithm), results in cells.items():
             elapsed = sum(r.elapsed_seconds for r in results)
             steps = sum(r.steps for r in results)
-            jains = [float(r.row["jain"]) for r in results]
+            # Error rows carry no metrics; the Jain spread covers the
+            # completed runs only (a fully errored cell renders "-").
+            jains = [float(r.row["jain"]) for r in results if r.status != "error"]
             rows.append(
                 {
                     "scenario": scenario,
                     "algorithm": algorithm,
                     "runs": len(results),
-                    "violations": sum(1 for r in results if not r.ok),
+                    "violations": sum(1 for r in results if r.status == "violation"),
+                    "errors": sum(1 for r in results if r.status == "error"),
                     "steps": steps,
                     "steps/s": round(steps / elapsed, 1) if elapsed > 0 else "-",
-                    "jain min..max": f"{min(jains):.3f}..{max(jains):.3f}",
+                    "jain min..max": (
+                        f"{min(jains):.3f}..{max(jains):.3f}" if jains else "-"
+                    ),
                 }
             )
         rows.append(
@@ -119,8 +137,11 @@ class CampaignResult:
                 "algorithm": "-",
                 "runs": len(self.results),
                 "violations": self.violations,
+                "errors": self.errors,
                 "steps": self.total_steps,
-                "steps/s": round(self.steps_per_sec, 1),
+                "steps/s": (
+                    round(self.steps_per_sec, 1) if self.elapsed_seconds > 0 else "-"
+                ),
                 "jain min..max": f"wall {self.elapsed_seconds:.2f}s x{self.workers}",
             }
         )
@@ -132,6 +153,8 @@ def run_campaign(
     jobs: int = 1,
     mp_context: str = "spawn",
     progress: Optional[Callable[[JobResult, int, int], None]] = None,
+    sink: Optional[RowSink] = None,
+    sink_timing: bool = False,
 ) -> CampaignResult:
     """Execute a campaign across ``jobs`` worker processes.
 
@@ -139,6 +162,20 @@ def run_campaign(
     ``(result, completed, total)`` — completion order varies with the worker
     count, but the returned :class:`CampaignResult` is always re-sorted into
     job order, so everything downstream is deterministic.
+
+    ``sink`` (optional) receives every row **in completion order**, the
+    moment its job finishes — the crash-safety channel: a
+    :class:`~repro.campaign.sinks.JsonlSink` has already flushed every
+    completed row when the process dies, so ``--resume`` only re-runs what
+    is genuinely missing.  The sink's lifecycle belongs to the caller (it
+    is not closed here); ``sink_timing=True`` adds the machine-dependent
+    ``steps_per_sec`` field to the streamed rows, mirroring
+    ``jsonl_lines(include_timing=True)``.
+
+    Worker exceptions do not abort the drain: :func:`execute_job` converts
+    them into ``status="error"`` rows (see
+    :attr:`CampaignResult.errors`), so one poisoned job cannot discard the
+    other 9,999 completed results.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -148,13 +185,18 @@ def run_campaign(
         job_list = list(spec_or_jobs)
     start = time.perf_counter()
     results: List[JobResult] = []
+
+    def drain(result: JobResult) -> None:
+        results.append(result)
+        if sink is not None:
+            sink.write_row(result.output_row(include_timing=sink_timing))
+        if progress is not None:
+            progress(result, len(results), len(job_list))
+
     if jobs == 1 or len(job_list) <= 1:
         workers = 1
         for job in job_list:
-            result = execute_job(job)
-            results.append(result)
-            if progress is not None:
-                progress(result, len(results), len(job_list))
+            drain(execute_job(job))
     else:
         workers = min(jobs, len(job_list))
         context = multiprocessing.get_context(mp_context)
@@ -162,9 +204,7 @@ def run_campaign(
             # Unordered drain: long jobs do not head-of-line-block short
             # ones.  Determinism is restored by the sort below.
             for result in pool.imap_unordered(execute_job, job_list, chunksize=1):
-                results.append(result)
-                if progress is not None:
-                    progress(result, len(results), len(job_list))
+                drain(result)
     results.sort(key=lambda result: result.index)
     return CampaignResult(
         jobs=job_list,

@@ -1,0 +1,214 @@
+"""Row sinks: where campaign rows go *while the campaign is still running*.
+
+PR 4's campaign buffered every row in memory and wrote the JSONL once, at
+the end — so a crash at job 9,999 of 10,000 lost everything.  A
+:class:`RowSink` receives each row from the runner's drain loop **in
+completion order**, the moment its job finishes; the ``"job"`` index
+travels in-row, so any consumer (or the resume module) can map a partial
+stream back to the matrix.  The runner never reorders before the sink —
+job-order output is restored by the *final rewrite* the CLI performs once
+the campaign completes (see :mod:`repro.campaign.resume` and docs/ARCHITECTURE.md,
+"Persistence & resume").
+
+Sinks are deliberately dumb: ``write_row(row)`` then ``close()``.  All of
+them are module-top-level classes whose *unopened* instances pickle (so a
+sink configuration can travel to a coordinating process before any file
+handle or socket exists); an **active** sink refuses to pickle instead of
+silently dropping its handle.  ``tools/check_repo.py`` enforces both via
+:data:`SINK_TYPES`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+from typing import Dict, List, Optional, Sequence, TextIO
+
+
+def row_line(row: Dict[str, object]) -> str:
+    """The canonical serialization of one row: sorted-key JSON, one line.
+
+    Every writer in the campaign layer — streaming sinks, the final
+    job-order rewrite, the resume round-trip — goes through this one
+    function, which is what makes "resume then rewrite" byte-identical to
+    an uninterrupted run.
+    """
+    return json.dumps(row, sort_keys=True)
+
+
+class RowSink:
+    """Protocol base: receives rows in completion order, then ``close()``.
+
+    Subclasses override :meth:`write_row`; ``close`` is idempotent and the
+    class is its own context manager, so ``with JsonlSink(path) as sink:``
+    flushes and releases resources even when the campaign dies mid-drain.
+    """
+
+    def write_row(self, row: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "RowSink":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+class BufferedSink(RowSink):
+    """The in-memory sink: collects rows in a list (completion order)."""
+
+    def __init__(self) -> None:
+        self.rows: List[Dict[str, object]] = []
+
+    def write_row(self, row: Dict[str, object]) -> None:
+        self.rows.append(row)
+
+
+class JsonlSink(RowSink):
+    """Append-only, line-buffered JSONL file sink.
+
+    Each row is written as one sorted-key JSON line and flushed
+    immediately, so the file on disk is always a valid prefix of the
+    campaign (plus at most one truncated tail line if the process died
+    mid-``write``) — exactly what :func:`repro.campaign.resume.read_rows`
+    is built to re-ingest.  ``append=True`` continues an existing file
+    (the resume path); the default truncates.
+    """
+
+    def __init__(self, path: str, append: bool = False) -> None:
+        self.path = path
+        self.append = append
+        self._fh: Optional[TextIO] = None
+
+    def _ensure_open(self) -> TextIO:
+        if self._fh is None:
+            self._fh = open(
+                self.path, "a" if self.append else "w", buffering=1, encoding="utf-8"
+            )
+        return self._fh
+
+    def write_row(self, row: Dict[str, object]) -> None:
+        fh = self._ensure_open()
+        fh.write(row_line(row) + "\n")
+        fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        if self._fh is not None:
+            raise TypeError("cannot pickle a JsonlSink with an open file handle")
+        return self.__dict__.copy()
+
+
+class SocketSink(RowSink):
+    """Stream rows as newline-delimited JSON over TCP or a Unix socket.
+
+    ``address`` is ``"tcp:HOST:PORT"`` or ``"unix:PATH"``.  The connection
+    is opened lazily on the first row (construction stays cheap and
+    picklable); a consumer on the other end sees one sorted-key JSON line
+    per completed job, in completion order, while the campaign runs.
+
+    The socket is an observability side channel, not the artifact of
+    record (that is ``--out``): a connection failure — collector never
+    listening, or disconnecting mid-campaign — is reported to stderr once
+    and the sink goes dark, rather than aborting an otherwise healthy
+    campaign from inside the drain loop.
+    """
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self._family, self._target = self._parse(address)
+        self._sock: Optional[socket.socket] = None
+        self._broken = False
+
+    @staticmethod
+    def _parse(address: str):
+        kind, _, rest = address.partition(":")
+        if kind == "unix" and rest:
+            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+                raise ValueError("unix sockets are not supported on this platform")
+            return socket.AF_UNIX, rest
+        if kind == "tcp" and rest:
+            host, sep, port = rest.rpartition(":")
+            if not sep or not port.isdigit():
+                raise ValueError(
+                    f"bad socket sink address {address!r}: expected 'tcp:HOST:PORT'"
+                )
+            return socket.AF_INET, (host, int(port))
+        raise ValueError(
+            f"bad socket sink address {address!r}: expected 'tcp:HOST:PORT' or 'unix:PATH'"
+        )
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.socket(self._family, socket.SOCK_STREAM)
+            self._sock.connect(self._target)
+        return self._sock
+
+    def write_row(self, row: Dict[str, object]) -> None:
+        if self._broken:
+            return
+        try:
+            self._ensure_connected().sendall((row_line(row) + "\n").encode("utf-8"))
+        except OSError as exc:
+            self._broken = True
+            self.close()
+            print(
+                f"campaign: stream sink {self.address} failed ({exc}); "
+                "continuing without it",
+                file=sys.stderr,
+            )
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        if self._sock is not None:
+            raise TypeError("cannot pickle a SocketSink with an open connection")
+        return self.__dict__.copy()
+
+
+class TeeSink(RowSink):
+    """Fan one row stream out to several sinks (e.g. JSONL file + socket)."""
+
+    def __init__(self, sinks: Sequence[RowSink]) -> None:
+        self.sinks = list(sinks)
+
+    def write_row(self, row: Dict[str, object]) -> None:
+        for sink in self.sinks:
+            sink.write_row(row)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def sink_from_spec(spec: str) -> RowSink:
+    """Build a streaming sink from a CLI spec string.
+
+    ``tcp:HOST:PORT`` and ``unix:PATH`` map to :class:`SocketSink`; file
+    output goes through ``--out`` (which also gets the final job-order
+    rewrite), so anything else is rejected here.
+    """
+    if spec.startswith(("tcp:", "unix:")):
+        return SocketSink(spec)
+    raise ValueError(
+        f"bad stream spec {spec!r}: expected 'tcp:HOST:PORT' or 'unix:PATH' "
+        "(use --out for files)"
+    )
+
+
+#: Every sink class, for ``tools/check_repo.py``: each must be a
+#: module-top-level class that pickles by reference, and a fresh (unopened)
+#: instance must pickle round-trip — so a sink configuration can always be
+#: shipped between processes before it goes live.
+SINK_TYPES = (BufferedSink, JsonlSink, SocketSink, TeeSink)

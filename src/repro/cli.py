@@ -14,8 +14,12 @@ common operations:
   seed matrix (named and/or randomized scenarios) into seeded runs, execute
   them across ``--jobs`` worker processes with all streaming monitors
   attached, print the summary table and optionally write one JSONL row per
-  run (byte-identical for any ``--jobs``; exits non-zero if any run violated
-  a checked property),
+  run — streamed crash-safely as jobs complete and rewritten in job order
+  at the end, byte-identical for any ``--jobs``.  ``--resume`` continues an
+  interrupted ``--out`` file, ``--rerun-disagreements`` re-expands cells
+  whose verdicts differ across seeds, ``--stream`` mirrors rows to a
+  TCP/Unix socket.  Exit codes: 1 a checked property was violated, 2
+  malformed matrix, 3 a worker raised (error rows present),
 * ``scenarios``-- list the available scenarios.
 
 Examples::
@@ -46,7 +50,24 @@ from repro.baselines import (
     KumarTokenCoordinator,
     ManagerTokenCoordinator,
 )
-from repro.campaign import CampaignSpec, FaultSchedule, run_campaign
+from repro.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    FaultSchedule,
+    JobResult,
+    JsonlSink,
+    ResumeError,
+    RowSink,
+    TeeSink,
+    expand_jobs,
+    merge_results,
+    read_rows,
+    remaining_jobs,
+    rerun_jobs,
+    run_campaign,
+    sink_from_spec,
+    validate_rows_match_jobs,
+)
 from repro.core.runner import CommitteeCoordinator
 from repro.metrics.throughput import measure_throughput
 from repro.workloads.scenarios import all_scenarios, scenario_by_name
@@ -173,11 +194,42 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``campaign`` flags that only shape *named*-scenario jobs; randomized
+#: scenarios draw their own token/daemon/environment/fault dimensions from
+#: their seed, so a random-only campaign silently ignoring these would be a
+#: footgun — the CLI warns instead (see _warn_ignored_random_axes).
+_NAMED_ONLY_AXES = ("--token", "--daemon", "--faults", "--environment", "--arbitrary")
+
+
+def _warn_ignored_random_axes(args: argparse.Namespace) -> None:
+    given = {
+        "--token": bool(args.token),
+        "--daemon": bool(args.daemon),
+        "--faults": bool(args.faults),
+        "--environment": args.environment != "always",
+        "--arbitrary": args.arbitrary,
+    }
+    ignored = [flag for flag in _NAMED_ONLY_AXES if given[flag]]
+    if ignored:
+        print(
+            f"campaign: warning: ignoring {', '.join(ignored)} — randomized "
+            "scenarios draw their own token/daemon/environment/fault "
+            "dimensions from their seed; these flags only apply to named "
+            "scenarios (add --scenario to use them)",
+            file=sys.stderr,
+        )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     scenarios = tuple(args.scenario or ())
     if not scenarios and not args.random:
         # Mirror the run/check default so a bare `repro-cc campaign` works.
         scenarios = ("figure1",)
+    if not scenarios and args.random:
+        _warn_ignored_random_axes(args)
+    if args.resume and not args.out:
+        print("campaign: --resume requires --out (the JSONL file to continue)", file=sys.stderr)
+        return 2
     try:
         spec = CampaignSpec(
             scenarios=scenarios,
@@ -195,23 +247,104 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             grace_steps=args.grace,
             arbitrary_start=args.arbitrary,
         )
+        all_jobs = expand_jobs(spec)
     except (KeyError, ValueError) as exc:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
-    result = run_campaign(spec, jobs=args.jobs)
+
+    prior_rows: List[dict] = []
+    todo = all_jobs
+    if args.resume:
+        try:
+            prior_rows = read_rows(args.out)
+            validate_rows_match_jobs(all_jobs, prior_rows)
+        except ResumeError as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+        todo = remaining_jobs(all_jobs, prior_rows, retry_errors=args.retry_errors)
+        if prior_rows:
+            print(
+                f"campaign: resuming {args.out}: {len(prior_rows)} row(s) "
+                f"already present, {len(todo)} of {len(all_jobs)} job(s) remaining"
+            )
+
+    sinks: List[RowSink] = []
+    if args.out:
+        # Truncate-and-rewrite the surviving prior rows first: this drops
+        # the partial tail line an interrupted write may have left, then
+        # the same sink keeps appending freshly completed rows.
+        jsonl_sink = JsonlSink(args.out)
+        for row in prior_rows:
+            jsonl_sink.write_row(row)
+        sinks.append(jsonl_sink)
+    if args.stream:
+        try:
+            sinks.append(sink_from_spec(args.stream))
+        except ValueError as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+    sink: Optional[RowSink] = None
+    if sinks:
+        sink = sinks[0] if len(sinks) == 1 else TeeSink(sinks)
+
+    executed: List[JobResult] = []
+    jobs_all = list(all_jobs)
+    try:
+        result = run_campaign(todo, jobs=args.jobs, sink=sink, sink_timing=args.timing)
+        executed.extend(result.results)
+        workers = result.workers
+        elapsed = result.elapsed_seconds
+        merged = merge_results(prior_rows, executed)
+        if args.rerun_disagreements:
+            base_results = [r for r in merged if r.index < len(all_jobs)]
+            extra_jobs = rerun_jobs(all_jobs, base_results)
+            if extra_jobs:
+                jobs_all = all_jobs + extra_jobs
+                extra_todo = remaining_jobs(extra_jobs, prior_rows, retry_errors=args.retry_errors)
+                print(
+                    f"campaign: verdicts disagree across seeds — appending "
+                    f"{len(extra_jobs)} fresh-seed job(s) ({len(extra_todo)} still to execute)"
+                )
+                if extra_todo:
+                    extra_result = run_campaign(
+                        extra_todo, jobs=args.jobs, sink=sink, sink_timing=args.timing
+                    )
+                    executed.extend(extra_result.results)
+                    elapsed += extra_result.elapsed_seconds
+                    merged = merge_results(prior_rows, executed)
+    except KeyboardInterrupt:
+        if args.out:
+            print(
+                f"\ncampaign: interrupted — completed rows are in {args.out}; "
+                "rerun with --resume to finish the remaining jobs",
+                file=sys.stderr,
+            )
+        return 130
+    finally:
+        for open_sink in sinks:
+            open_sink.close()
+
+    campaign = CampaignResult(
+        jobs=jobs_all, results=merged, workers=workers, elapsed_seconds=elapsed
+    )
     print(
         format_table(
-            result.summary_rows(),
+            campaign.summary_rows(),
             title=(
-                f"Campaign: {len(result.jobs)} runs x {result.workers} workers "
-                f"({result.violations} with violations)"
+                f"Campaign: {len(campaign.results)} runs x {campaign.workers} workers "
+                f"({campaign.violations} with violations, {campaign.errors} errors)"
             ),
         )
     )
     if args.out:
-        result.write_jsonl(args.out, include_timing=args.timing)
-        print(f"wrote {len(result.results)} rows to {args.out}")
-    return 0 if result.ok else 1
+        # Final job-order rewrite: the streamed file is in completion
+        # order; the finished artifact is byte-identical to an
+        # uninterrupted --jobs 1 run.
+        campaign.write_jsonl(args.out, include_timing=args.timing)
+        print(f"wrote {len(campaign.results)} rows to {args.out}")
+    if campaign.errors:
+        return 3
+    return 0 if campaign.ok else 1
 
 
 def _positive_int(value: str) -> int:
@@ -399,7 +532,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes (rows are byte-identical for any value)",
     )
-    campaign.add_argument("--out", default=None, help="write one JSON row per run to this file")
+    campaign.add_argument(
+        "--out",
+        default=None,
+        help="write one JSON row per run to this file; rows are flushed as "
+        "jobs complete (crash-safe) and rewritten in job order at the end",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted campaign: read the --out file, keep "
+        "its completed rows and execute only the missing jobs (the final "
+        "file is byte-identical to an uninterrupted run)",
+    )
+    campaign.add_argument(
+        "--retry-errors",
+        action="store_true",
+        help="with --resume: also re-execute jobs whose previous row was an "
+        "error row (transient worker failures)",
+    )
+    campaign.add_argument(
+        "--rerun-disagreements",
+        action="store_true",
+        help="after the matrix completes, re-run every cell whose verdicts "
+        "disagree across seeds with as many fresh seeds (appended "
+        "deterministically)",
+    )
+    campaign.add_argument(
+        "--stream",
+        default=None,
+        help="also stream each row as it completes to a socket: "
+        "'tcp:HOST:PORT' or 'unix:PATH' (newline-delimited JSON, "
+        "completion order)",
+    )
     campaign.add_argument(
         "--timing",
         action="store_true",

@@ -93,6 +93,20 @@ class TestFaultSchedule:
         with pytest.raises(ValueError):
             FaultSchedule(every=5, fraction=0.0)
 
+    def test_parse_format_errors_name_the_expected_shape(self):
+        # "50:" is malformed (empty fraction): the format message applies.
+        with pytest.raises(ValueError, match="expected 'none' or 'EVERY:FRACTION'"):
+            FaultSchedule.parse("50:")
+
+    def test_parse_range_errors_keep_their_own_message(self):
+        # "-5:0.5" and "50:1.5" are well-formed; their *values* are out of
+        # range, so __post_init__'s specific message must propagate instead
+        # of being masked as a format error.
+        with pytest.raises(ValueError, match="every must be >= 0"):
+            FaultSchedule.parse("-5:0.5")
+        with pytest.raises(ValueError, match=r"fraction must be in \(0, 1\]"):
+            FaultSchedule.parse("50:1.5")
+
 
 class TestMatrixExpansion:
     def test_cross_product_size_and_indices(self):

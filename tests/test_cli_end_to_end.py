@@ -138,3 +138,152 @@ class TestCampaignEndToEnd:
         capsys.readouterr()
         row = json.loads(out_file.read_text().splitlines()[0])
         assert row["steps_per_sec"] > 0
+
+    def test_random_only_campaign_warns_on_ignored_named_axes(self, capsys):
+        code = main([
+            "campaign", "--random", "2", "--token", "ring",
+            "--faults", "50:0.4", "--steps", "60",
+        ])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "ignoring --token, --faults" in captured.err
+        assert "randomized scenarios draw their own" in captured.err
+        # With a named scenario present the axes do apply: no warning.
+        assert main([
+            "campaign", "--scenario", "figure1", "--random", "1",
+            "--token", "ring", "--steps", "60",
+        ]) in (0, 1)
+        assert "ignoring" not in capsys.readouterr().err
+
+
+class TestCampaignCrashSafety:
+    ARGV = ["campaign", "--scenario", "figure1", "--scenario", "grid-3x3",
+            "--algorithm", "cc1", "--algorithm", "cc2",
+            "--seeds", "2", "--steps", "100"]
+
+    def test_resume_finishes_interrupted_campaign_byte_identical(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        full = tmp_path / "full.jsonl"
+        assert main(self.ARGV + ["--out", str(full)]) == 0
+        expected = full.read_bytes()
+        lines = expected.splitlines(keepends=True)
+        assert len(lines) == 8
+
+        # Interrupt after 3 complete rows + one row truncated mid-write.
+        part = tmp_path / "part.jsonl"
+        part.write_bytes(b"".join(lines[:3]) + lines[3][: len(lines[3]) // 2])
+
+        import repro.campaign.runner as runner_module
+        executed = []
+        real_execute = runner_module.execute_job
+        monkeypatch.setattr(
+            runner_module, "execute_job",
+            lambda job: (executed.append(job.index), real_execute(job))[1],
+        )
+        code = main(self.ARGV + ["--out", str(part), "--resume"])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "resuming" in printed and "5 of 8 job(s) remaining" in printed
+        # Only the N-k missing jobs ran...
+        assert sorted(executed) == [3, 4, 5, 6, 7]
+        # ...and the final job-order rewrite is byte-identical to the
+        # uninterrupted run.
+        assert part.read_bytes() == expected
+
+    def test_resume_of_complete_file_executes_nothing(self, capsys, tmp_path, monkeypatch):
+        out = tmp_path / "rows.jsonl"
+        assert main(self.ARGV + ["--out", str(out)]) == 0
+        expected = out.read_bytes()
+        import repro.campaign.runner as runner_module
+        monkeypatch.setattr(
+            runner_module, "execute_job",
+            lambda job: (_ for _ in ()).throw(AssertionError("no job should run")),
+        )
+        assert main(self.ARGV + ["--out", str(out), "--resume"]) == 0
+        capsys.readouterr()
+        assert out.read_bytes() == expected
+
+    def test_resume_requires_out(self, capsys):
+        assert main(["campaign", "--scenario", "figure1", "--resume"]) == 2
+        assert "--resume requires --out" in capsys.readouterr().err
+
+    def test_resume_rejects_a_foreign_file(self, capsys, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        assert main(["campaign", "--scenario", "star-5", "--steps", "50",
+                     "--out", str(out)]) in (0, 1)
+        capsys.readouterr()
+        code = main(self.ARGV + ["--out", str(out), "--resume"])
+        assert code == 2
+        assert "does not match the campaign matrix" in capsys.readouterr().err
+
+    def test_worker_error_rows_drive_exit_three(self, capsys, tmp_path, monkeypatch):
+        import repro.campaign.jobs as jobs_module
+        real_run = jobs_module._run_job
+
+        def boom(job):
+            if job.seed == 2:
+                raise RuntimeError("induced worker failure")
+            return real_run(job)
+
+        monkeypatch.setattr(jobs_module, "_run_job", boom)
+        out = tmp_path / "rows.jsonl"
+        code = main(["campaign", "--scenario", "figure1", "--algorithm", "cc2",
+                     "--seeds", "2", "--steps", "100", "--out", str(out)])
+        printed = capsys.readouterr().out
+        assert code == 3
+        assert "1 errors" in printed
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 2  # the completed row was not lost
+        by_status = {row["status"]: row for row in rows}
+        assert by_status["error"]["error"] == "RuntimeError: induced worker failure"
+        assert by_status["ok"]["ok"] is True
+
+    def test_rerun_disagreements_appends_fresh_seed_rows(self, capsys, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        code = main([
+            "campaign", "--scenario", "figure1", "--algorithm", "cc2",
+            "--faults", "40:0.3", "--seed", "3", "--seeds", "3",
+            "--steps", "200", "--rerun-disagreements", "--out", str(out),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 1  # the violating seeds still violate
+        assert "verdicts disagree across seeds" in printed
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [row["job"] for row in rows] == list(range(6))
+        assert [row["seed"] for row in rows] == [3, 4, 5, 6, 7, 8]
+        verdicts = {row["ok"] for row in rows[:3]}
+        assert verdicts == {True, False}
+
+    def test_stream_sink_receives_rows_while_running(self, capsys, tmp_path):
+        import socket
+        import threading
+
+        address = str(tmp_path / "rows.sock")
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(address)
+        server.listen(1)
+        received = bytearray()
+
+        def serve():
+            conn, _ = server.accept()
+            while chunk := conn.recv(4096):
+                received.extend(chunk)
+            conn.close()
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        code = main(["campaign", "--scenario", "figure1", "--seeds", "2",
+                     "--steps", "100", "--stream", f"unix:{address}"])
+        thread.join(timeout=5)
+        server.close()
+        capsys.readouterr()
+        assert code == 0
+        rows = [json.loads(line) for line in bytes(received).decode().splitlines()]
+        assert [row["job"] for row in rows] == [0, 1]
+
+    def test_bad_stream_spec_exits_two(self, capsys):
+        code = main(["campaign", "--scenario", "figure1",
+                     "--stream", "rows.jsonl", "--steps", "10"])
+        assert code == 2
+        assert "stream spec" in capsys.readouterr().err

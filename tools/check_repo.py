@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo hygiene checks, tier-1-safe (fast, no network, no state mutation).
 
-Five checks, each returning a list of human-readable error strings:
+Seven checks, each returning a list of human-readable error strings:
 
 * ``check_no_tracked_bytecode`` — no ``.pyc`` / ``__pycache__`` entries ever
   re-enter the git index (they were purged once; ``.gitignore`` keeps new
@@ -21,7 +21,17 @@ Five checks, each returning a list of human-readable error strings:
 * ``check_spawn_entry_points`` — every dotted name the campaign engine hands
   to ``multiprocessing`` (``repro.campaign.SPAWN_ENTRY_POINTS``) is a
   module-top-level callable that pickles by reference, i.e. resolvable from
-  a spawn-context worker; a sample expanded ``RunJob`` must round-trip too.
+  a spawn-context worker; a sample expanded ``RunJob`` must round-trip too;
+* ``check_campaign_rows`` — the campaign row schema
+  (``repro.campaign.jobs.ROW_FIELDS`` / ``ERROR_ROW_FIELDS``) matches what
+  ``execute_job``/``error_result`` actually emit, and the resume module
+  round-trips every schema'd row shape **byte-identically** (parse a
+  serialized row, re-serialize, compare) — the property ``--resume``'s
+  "final file equals an uninterrupted run" guarantee rests on;
+* ``check_sink_picklability`` — every row sink class
+  (``repro.campaign.sinks.SINK_TYPES``) is a module-top-level class that
+  pickles by reference, and fresh (unopened) instances pickle round-trip,
+  so sink configurations can always be shipped between processes.
 
 Run standalone (``python tools/check_repo.py``, exit 1 on failure) or from
 the test suite (``tests/test_repo_checks.py`` calls :func:`run_checks`).
@@ -223,6 +233,9 @@ PERF_ROW_SCHEMAS: Dict[str, Set[str]] = {
         "engine", "kind", "n", "overhead", "scenario", "steps", "steps_per_sec"
     },
     "campaign_scaling": {"jobs", "runs", "total_steps", "seconds", "runs_per_sec"},
+    "campaign_sink_overhead": {
+        "sink", "runs", "total_steps", "seconds", "runs_per_sec", "overhead"
+    },
 }
 
 _SCALAR_TYPES = (str, int, float, bool, type(None))
@@ -326,6 +339,108 @@ def check_spawn_entry_points() -> List[str]:
 
 
 # --------------------------------------------------------------------------- #
+# 6. campaign row schema + resume byte-identical round-trip
+# --------------------------------------------------------------------------- #
+def _roundtrip_row(row: Dict[str, object], resume_module, label: str) -> List[str]:
+    """Serialize → parse-as-resume-would → re-serialize must be bytes-stable."""
+    errors: List[str] = []
+    line = json.dumps(row, sort_keys=True)
+    try:
+        parsed = resume_module.parse_rows([line], source=label)
+    except Exception as exc:
+        return [f"{label}: resume.parse_rows rejected a schema'd row ({exc!r})"]
+    if len(parsed) != 1 or parsed[0] != row:
+        errors.append(f"{label}: resume round-trip is not value-identical")
+    elif json.dumps(parsed[0], sort_keys=True) != line:
+        errors.append(f"{label}: resume round-trip is not byte-identical")
+    return errors
+
+
+def check_campaign_rows() -> List[str]:
+    """The row schema constants, the rows actually emitted, and the resume
+    parser must agree — and rows must survive the JSONL round-trip byte for
+    byte, which is what makes an interrupted-then-resumed campaign's final
+    rewrite equal an uninterrupted run.
+    """
+    if str(SRC_DIR) not in sys.path:
+        sys.path.insert(0, str(SRC_DIR))
+    errors: List[str] = []
+    try:
+        campaign_jobs = importlib.import_module("repro.campaign.jobs")
+        matrix = importlib.import_module("repro.campaign.matrix")
+        resume = importlib.import_module("repro.campaign.resume")
+    except Exception as exc:  # pragma: no cover - import breakage shows everywhere
+        return [f"cannot import the campaign persistence modules: {exc!r}"]
+    job = matrix.expand_jobs(matrix.CampaignSpec(scenarios=("figure1",), max_steps=5))[0]
+
+    result = campaign_jobs.execute_job(job)
+    expected = set(campaign_jobs.ROW_FIELDS)
+    if set(result.row) != expected:
+        errors.append(
+            "execute_job row keys drifted from ROW_FIELDS: "
+            f"missing {sorted(expected - set(result.row))}, "
+            f"extra {sorted(set(result.row) - expected)}"
+        )
+    errors.extend(_roundtrip_row(result.row, resume, "completed row"))
+
+    error_row = campaign_jobs.error_result(job, RuntimeError("schema probe")).row
+    expected_error = set(campaign_jobs.ERROR_ROW_FIELDS)
+    if set(error_row) != expected_error:
+        errors.append(
+            "error_result row keys drifted from ERROR_ROW_FIELDS: "
+            f"missing {sorted(expected_error - set(error_row))}, "
+            f"extra {sorted(set(error_row) - expected_error)}"
+        )
+    errors.extend(_roundtrip_row(error_row, resume, "error row"))
+    return errors
+
+
+# --------------------------------------------------------------------------- #
+# 7. row sinks picklable (configurations shippable between processes)
+# --------------------------------------------------------------------------- #
+def check_sink_picklability() -> List[str]:
+    if str(SRC_DIR) not in sys.path:
+        sys.path.insert(0, str(SRC_DIR))
+    errors: List[str] = []
+    try:
+        sinks = importlib.import_module("repro.campaign.sinks")
+    except Exception as exc:  # pragma: no cover - import breakage shows everywhere
+        return [f"cannot import repro.campaign.sinks: {exc!r}"]
+    samples = {
+        "BufferedSink": sinks.BufferedSink(),
+        "JsonlSink": sinks.JsonlSink("rows.jsonl"),
+        "SocketSink": sinks.SocketSink("tcp:127.0.0.1:9"),
+        "TeeSink": sinks.TeeSink([sinks.BufferedSink()]),
+    }
+    for sink_type in getattr(sinks, "SINK_TYPES", ()):
+        name = sink_type.__name__
+        if getattr(sinks, name, None) is not sink_type or sink_type.__qualname__ != name:
+            errors.append(f"sink {name}: not a module-top-level class")
+            continue
+        try:
+            if pickle.loads(pickle.dumps(sink_type)) is not sink_type:
+                errors.append(f"sink {name}: class does not pickle by reference")
+        except Exception as exc:
+            errors.append(f"sink {name}: class not picklable ({exc!r})")
+            continue
+        sample = samples.get(name)
+        if sample is None:
+            errors.append(
+                f"sink {name}: no sample instance in check_sink_picklability "
+                "(add one so fresh-instance pickling stays covered)"
+            )
+            continue
+        try:
+            clone = pickle.loads(pickle.dumps(sample))
+        except Exception as exc:
+            errors.append(f"sink {name}: fresh instance not picklable ({exc!r})")
+            continue
+        if type(clone) is not sink_type:
+            errors.append(f"sink {name}: instance pickle round-trip changed type")
+    return errors
+
+
+# --------------------------------------------------------------------------- #
 # driver
 # --------------------------------------------------------------------------- #
 CHECKS: List[Callable[[], List[str]]] = [
@@ -334,6 +449,8 @@ CHECKS: List[Callable[[], List[str]]] = [
     check_cli_docs,
     check_perf_rows,
     check_spawn_entry_points,
+    check_campaign_rows,
+    check_sink_picklability,
 ]
 
 
