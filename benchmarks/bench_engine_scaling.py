@@ -66,9 +66,9 @@ def _build_scheduler(n: int, engine: str) -> Scheduler:
 def _measure(n: int, engine: str) -> Tuple[float, int]:
     scheduler = _build_scheduler(n, engine)
     steps = STEPS[n]
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=RL102 -- perf bench measures wall clock by design
     result = scheduler.run(max_steps=steps)
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro-lint: disable=RL102 -- perf bench measures wall clock by design
     return (result.steps / elapsed if elapsed > 0 else float("inf")), result.steps
 
 

@@ -64,9 +64,9 @@ def _build_scheduler(monitored: bool) -> Tuple[Scheduler, Optional[StreamingSpec
 
 def _measure(monitored: bool) -> float:
     scheduler, _ = _build_scheduler(monitored)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=RL102 -- perf bench measures wall clock by design
     result = scheduler.run(max_steps=STEPS)
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro-lint: disable=RL102 -- perf bench measures wall clock by design
     return result.steps / elapsed if elapsed > 0 else float("inf")
 
 

@@ -35,7 +35,7 @@ def emit_json_row(row: dict, path: str = PERF_LOG) -> dict:
     Returns the stamped row.  Used by ``bench_engine_scaling.py`` (and any
     future perf benchmark) so the repo keeps a greppable steps/sec baseline.
     """
-    stamped = {"timestamp": round(time.time(), 3)}
+    stamped = {"timestamp": round(time.time(), 3)}  # repro-lint: disable=RL102 -- perf rows are wall-clock stamped, never replayed
     stamped.update(row)
     line = json.dumps(stamped, sort_keys=True)
     print(f"PERF_ROW {line}")

@@ -1,3 +1,20 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-cc",
+    version="0.6.0",
+    description=(
+        "Reproduction of snap-stabilizing committee coordination "
+        "(Bonakdarpour, Devismes, Petit — IPDPS 2011) with a deterministic "
+        "campaign engine and the repro-lint static-analysis suite"
+    ),
+    python_requires=">=3.8",
+    package_dir={"repro": "src/repro"},
+    packages=find_packages("src") + ["tools", "tools.staticcheck"],
+    entry_points={
+        "console_scripts": [
+            "repro-cc = repro.cli:main",
+            "repro-lint = tools.staticcheck.cli:main",
+        ]
+    },
+)

@@ -242,11 +242,11 @@ def execute_job(job: RunJob) -> JobResult:
     every completed result with it.  The runner surfaces error rows in the
     summary and the CLI exits 3 when any are present.
     """
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=RL102 -- elapsed_seconds is --timing-only, stripped from rows
     try:
         return _run_job(job)
     except Exception as exc:
-        return error_result(job, exc, elapsed_seconds=time.perf_counter() - start)
+        return error_result(job, exc, elapsed_seconds=time.perf_counter() - start)  # repro-lint: disable=RL102 -- --timing-only
 
 
 def _run_job(job: RunJob) -> JobResult:
@@ -285,7 +285,7 @@ def _run_job(job: RunJob) -> JobResult:
         if job.fault_every
         else None
     )
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=RL102 -- elapsed_seconds is --timing-only, stripped from rows
     stop_reason = "max_steps"
     while scheduler.step_index < job.max_steps:
         if (
@@ -301,7 +301,7 @@ def _run_job(job: RunJob) -> JobResult:
         except StopRun as stop:  # pragma: no cover - suite never early-stops here
             stop_reason = stop.reason
             break
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro-lint: disable=RL102 -- --timing-only
 
     metrics = collector.metrics(scheduler.trace)
     verdicts = suite.verdicts()

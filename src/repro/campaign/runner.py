@@ -183,7 +183,7 @@ def run_campaign(
         job_list = expand_jobs(spec_or_jobs)
     else:
         job_list = list(spec_or_jobs)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=RL102 -- campaign wall time is --timing-only, never in rows
     results: List[JobResult] = []
 
     def drain(result: JobResult) -> None:
@@ -210,5 +210,5 @@ def run_campaign(
         jobs=job_list,
         results=results,
         workers=workers,
-        elapsed_seconds=time.perf_counter() - start,
+        elapsed_seconds=time.perf_counter() - start,  # repro-lint: disable=RL102 -- --timing-only
     )

@@ -596,7 +596,10 @@ class StreamingSpecSuite:
             # the ordering invariant — reading a stale scan would silently
             # shift every verdict by one configuration.
             if self._stream.observations != self._index:
-                raise RuntimeError(
+                # A listener-ordering bug in the harness wiring must crash
+                # loudly — a StopRun here would masquerade as a clean early
+                # stop and silently ship one-configuration-shifted verdicts.
+                raise RuntimeError(  # repro-lint: disable=RL401 -- misconfiguration guard, not a run outcome
                     "shared MeetingEventStream is out of sync (stream saw "
                     f"{self._stream.observations} configurations, suite saw "
                     f"{self._index}); the observer driving the stream must be "

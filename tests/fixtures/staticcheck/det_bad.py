@@ -1,0 +1,60 @@
+"""Determinism corpus (RL1xx): every construct the pass must reject.
+
+Each offending line carries an expect-marker comment; the test harness
+parses the markers and asserts the pass emits *exactly* those diagnostics.
+All constructs live inside functions so the spawn-safety pass (RL301,
+module-level side effects) stays quiet on this file.
+"""
+
+import datetime as dt
+import os
+import random
+import secrets
+import time
+import uuid
+from datetime import datetime
+from time import perf_counter
+
+
+def unseeded_randomness():
+    a = random.random()  # expect: RL101
+    b = random.randint(0, 7)  # expect: RL101
+    rng = random.Random()  # expect: RL101
+    seeded = random.Random(42)  # ok: seeded instance
+    return a, b, rng, seeded.random()
+
+
+def wall_clock():
+    t0 = time.time()  # expect: RL102
+    t1 = time.perf_counter()  # expect: RL102
+    t2 = perf_counter()  # expect: RL102
+    return t0, t1, t2
+
+
+def ambient_dates():
+    now = datetime.now()  # expect: RL103
+    also = dt.datetime.now()  # expect: RL103
+    return now, also
+
+
+def entropy():
+    raw = os.urandom(8)  # expect: RL104
+    ident = uuid.uuid4()  # expect: RL104
+    tok = secrets.token_bytes(4)  # expect: RL104
+    return raw, ident, tok
+
+
+def hash_ordering(items):
+    ordered = sorted(items, key=hash)  # expect: RL105
+    items.sort(key=lambda x: hash(x))  # expect: RL105
+    return ordered
+
+
+def set_iteration(names):
+    for name in {"b", "a", "c"}:  # expect: RL106
+        print(name)
+    joined = ",".join({n for n in names})  # expect: RL106
+    as_list = list(set(names))  # expect: RL106
+    pairs = [(n, 1) for n in set(names)]  # expect: RL106
+    stable = sorted(set(names))  # ok: sorted() restores a canonical order
+    return joined, as_list, pairs, stable

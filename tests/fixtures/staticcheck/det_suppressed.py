@@ -1,0 +1,23 @@
+"""Determinism corpus: suppressions are honored (and still reported as such).
+
+Every line here would fire without its ``# repro-lint: disable=`` comment;
+the ``# expect-suppressed:`` markers assert the pass still *sees* the
+construct but marks it suppressed, so ``--show-suppressed`` and the
+self-tests can prove both halves.
+"""
+
+import random
+import time
+
+
+def opt_in_timing():
+    start = time.perf_counter()  # repro-lint: disable=RL102 -- corpus: timing opt-in  # expect-suppressed: RL102
+    return start
+
+
+def deliberate_module_rng():
+    return random.random()  # repro-lint: disable=RL101 -- corpus: justified exception  # expect-suppressed: RL101
+
+
+def multi_code_line():
+    return list({1, 2}), time.time()  # repro-lint: disable=RL106,RL102 -- corpus: comma list  # expect-suppressed: RL106, RL102

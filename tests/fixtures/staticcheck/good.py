@@ -1,0 +1,21 @@
+"""A clean file: the deterministic idioms every pass accepts (no findings)."""
+
+import random
+
+
+def seeded_draws(seed, count):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(count)]
+
+
+def canonical_order(names):
+    for name in sorted(set(names)):
+        yield name
+
+
+def stable_join(names):
+    return ",".join(sorted({n.strip() for n in names}))
+
+
+def stable_sort(items):
+    return sorted(items, key=lambda item: (len(item), item))

@@ -1,0 +1,32 @@
+"""Spawn-safety corpus (RL3xx).
+
+In fixture projects every file counts as worker-imported, so the
+module-level side effects below fire RL301 directly; the declared entry
+point ``spawn_bad.missing`` names no top-level def, firing RL303.
+"""
+
+import multiprocessing
+
+SPAWN_ENTRY_POINTS = ("spawn_bad.worker", "spawn_bad.missing")  # expect: RL303
+
+configure_global_cache()  # expect: RL301
+
+with open("side_effect.txt") as _handle:  # expect: RL301
+    _CONTENT = _handle.read()
+
+multiprocessing.freeze_support()  # ok: well-known import-time idiom
+
+
+def worker(item):
+    return item
+
+
+def dispatch(pool, items):
+    def local_worker(item):
+        return item
+
+    pool.imap_unordered(lambda item: item, items)  # expect: RL302
+    pool.map(local_worker, items)  # expect: RL302
+    process = multiprocessing.Process(target=lambda: None)  # expect: RL302
+    pool.map(worker, items)  # ok: module-top-level function
+    return process

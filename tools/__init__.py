@@ -1,0 +1,6 @@
+"""Repository tooling (not shipped inside the ``repro`` package).
+
+``tools.staticcheck`` is the ``repro-lint`` static-analysis suite;
+``tools/check_repo.py`` is the historical entry point, now a thin shim over
+the same pass registry.
+"""

@@ -1,6 +1,13 @@
 #!/usr/bin/env python3
 """Repo hygiene checks, tier-1-safe (fast, no network, no state mutation).
 
+These seven checks are registered in the ``repro-lint`` pass registry as
+the ``repo-*`` passes (codes RC001–RC007) — ``tools/staticcheck`` wraps the
+functions below unchanged, so ``python -m tools.staticcheck`` runs them
+alongside the AST passes with unified ``file:line: CODE message``
+diagnostics.  See ``docs/STATIC_ANALYSIS.md`` for the catalogue.  This
+module remains the historical standalone entry point.
+
 Seven checks, each returning a list of human-readable error strings:
 
 * ``check_no_tracked_bytecode`` — no ``.pyc`` / ``__pycache__`` entries ever

@@ -1,0 +1,10 @@
+"""``python -m tools.staticcheck`` — the repro-lint standalone runner."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.staticcheck.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

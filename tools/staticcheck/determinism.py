@@ -1,0 +1,259 @@
+"""RL1xx — the determinism pass.
+
+Everything this reproduction guarantees (incremental ≡ dense traces,
+byte-identical campaign files for any worker count, crash-safe resume) is a
+*determinism* invariant: a run must be a pure function of its seeds.  This
+pass rejects the constructs that silently break that at lint time:
+
+========  ==================================================================
+RL101     unseeded randomness: ``random.random()``-style module-level
+          functions or a zero-argument ``random.Random()`` — draw from a
+          seeded ``random.Random(seed)`` instance instead
+RL102     wall-clock reads (``time.time``/``perf_counter``/``monotonic``/
+          ``process_time``): allowed only on explicitly timing-opt-in lines
+          (suppress per line with a justification)
+RL103     ``datetime.now()`` / ``utcnow()`` / ``today()``: ambient time in
+          output breaks byte-identity across runs
+RL104     OS entropy: ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets.*``
+RL105     ``hash()`` as an ordering key: str hashing is salted per process
+          (PYTHONHASHSEED), so hash-ordered output differs between workers
+RL106     iterating an unordered ``set``/``frozenset`` expression straight
+          into order-sensitive consumption (``for``, ``list()``,
+          ``tuple()``, ``join``, ``enumerate``) without ``sorted()`` — the
+          exact bug class that would break ``row_line`` byte-identity
+========  ==================================================================
+
+Scope (repo layout): ``src/repro/**`` and ``benchmarks/**``.  Benchmarks
+legitimately read the wall clock — each such line carries an explicit
+``# repro-lint: disable=RL102`` with a justification, rather than the whole
+directory being excluded, so *new* nondeterminism still gets caught there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from tools.staticcheck.diagnostics import Diagnostic, apply_suppressions
+from tools.staticcheck.project import Project, SourceFile, call_name, dotted_call
+
+#: ``random`` module-level functions whose hidden global state breaks seeding.
+UNSEEDED_RANDOM_FUNCS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate", "randbytes",
+    "randint", "random", "randrange", "sample", "seed", "shuffle", "triangular",
+    "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+#: Wall-clock reads: meaningless to replay, poison to byte-identity.
+WALL_CLOCK_FUNCS = {
+    "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+    "process_time", "process_time_ns", "time", "time_ns",
+}
+
+#: Ambient-date constructors.
+DATETIME_FUNCS = {"now", "today", "utcnow"}
+
+#: Order-sensitive single-argument consumers of an iterable.
+ORDER_SENSITIVE_CONSUMERS = {"enumerate", "iter", "list", "reversed", "tuple"}
+
+CODES: Dict[str, str] = {
+    "RL101": "unseeded random.* module-level function (use a seeded random.Random)",
+    "RL102": "wall-clock read outside a timing-opt-in line",
+    "RL103": "ambient datetime (now/utcnow/today) breaks reproducibility",
+    "RL104": "OS entropy source (os.urandom / uuid1 / uuid4 / secrets)",
+    "RL105": "hash() used as an ordering key (salted per process)",
+    "RL106": "unordered set iteration feeds order-sensitive output (wrap in sorted())",
+}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+def _lambda_calls_hash(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Lambda):
+        return False
+    for child in ast.walk(node.body):
+        if isinstance(child, ast.Call) and isinstance(child.func, ast.Name):
+            if child.func.id == "hash":
+                return True
+    return False
+
+
+class DeterminismPass:
+    name = "determinism"
+    codes = CODES
+    scope = ("src/repro/", "benchmarks/")
+
+    def run(self, project: Project) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for source in project.files_in_scope(self.scope):
+            diagnostics.extend(self._check_file(source))
+        return diagnostics
+
+    # ------------------------------------------------------------------ #
+    def _check_file(self, source: SourceFile) -> List[Diagnostic]:
+        random_aliases = {
+            alias for alias, module in source.module_aliases.items() if module == "random"
+        }
+        time_aliases = {
+            alias for alias, module in source.module_aliases.items() if module == "time"
+        }
+        os_aliases = {
+            alias for alias, module in source.module_aliases.items() if module == "os"
+        }
+        uuid_aliases = {
+            alias for alias, module in source.module_aliases.items() if module == "uuid"
+        }
+        secrets_aliases = {
+            alias for alias, module in source.module_aliases.items() if module == "secrets"
+        }
+        # ``from random import choice`` / ``from time import perf_counter``.
+        from_random = {
+            alias
+            for alias, (module, original) in source.from_imports.items()
+            if module == "random" and original in UNSEEDED_RANDOM_FUNCS
+        }
+        from_time = {
+            alias
+            for alias, (module, original) in source.from_imports.items()
+            if module == "time" and original in WALL_CLOCK_FUNCS
+        }
+        from_os_urandom = {
+            alias
+            for alias, (module, original) in source.from_imports.items()
+            if module == "os" and original == "urandom"
+        }
+
+        found: List[Diagnostic] = []
+
+        def emit(node: ast.AST, code: str, message: str) -> None:
+            found.append(Diagnostic(source.rel, getattr(node, "lineno", 1), code, message))
+
+        hash_method_stack: List[bool] = []
+
+        class Visitor(ast.NodeVisitor):
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                hash_method_stack.append(node.name in {"__hash__", "__eq__"})
+                self.generic_visit(node)
+                hash_method_stack.pop()
+
+            visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+            def visit_Call(self, node: ast.Call) -> None:
+                self._check_call(node)
+                self.generic_visit(node)
+
+            def visit_For(self, node: ast.For) -> None:
+                if _is_set_expr(node.iter):
+                    emit(
+                        node.iter,
+                        "RL106",
+                        "iterating an unordered set expression in a for loop; "
+                        "wrap it in sorted(...) if the loop's effects are order-sensitive",
+                    )
+                self.generic_visit(node)
+
+            def visit_comprehension_iter(self, node: ast.expr) -> None:
+                if _is_set_expr(node):
+                    emit(
+                        node,
+                        "RL106",
+                        "comprehension iterates an unordered set expression; wrap in sorted(...)",
+                    )
+
+            def _visit_comp(self, node) -> None:
+                for gen in node.generators:
+                    self.visit_comprehension_iter(gen.iter)
+                self.generic_visit(node)
+
+            visit_ListComp = _visit_comp
+            visit_GeneratorExp = _visit_comp
+            visit_DictComp = _visit_comp
+
+            def visit_SetComp(self, node: ast.SetComp) -> None:
+                # Iterating a set to build another set is order-insensitive.
+                self.generic_visit(node)
+
+            # ---------------------------------------------------------- #
+            def _check_call(self, node: ast.Call) -> None:
+                func = node.func
+                dotted = dotted_call(node)
+
+                # RL101 — unseeded random
+                if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                    owner, attr = func.value.id, func.attr
+                    if owner in random_aliases and attr in UNSEEDED_RANDOM_FUNCS:
+                        emit(node, "RL101", f"unseeded random.{attr}() (module-level RNG)")
+                    if owner in random_aliases and attr == "Random" and not node.args and not node.keywords:
+                        emit(node, "RL101", "random.Random() without a seed")
+                    # RL102 — wall clock
+                    if owner in time_aliases and attr in WALL_CLOCK_FUNCS:
+                        emit(
+                            node,
+                            "RL102",
+                            f"wall-clock read time.{attr}(); timing must be opt-in "
+                            "(suppress per line with a justification if intentional)",
+                        )
+                    # RL104 — entropy
+                    if owner in os_aliases and attr == "urandom":
+                        emit(node, "RL104", "os.urandom() is nondeterministic entropy")
+                    if owner in uuid_aliases and attr in {"uuid1", "uuid4"}:
+                        emit(node, "RL104", f"uuid.{attr}() is nondeterministic")
+                    if owner in secrets_aliases:
+                        emit(node, "RL104", f"secrets.{attr}() is nondeterministic entropy")
+                    # RL103 — ambient datetime
+                    if attr in DATETIME_FUNCS and owner in {"datetime", "date"}:
+                        emit(node, "RL103", f"{owner}.{attr}() reads ambient time")
+                if dotted is not None and dotted.endswith((".datetime.now", ".datetime.utcnow", ".date.today")):
+                    emit(node, "RL103", f"{dotted}() reads ambient time")
+
+                if isinstance(func, ast.Name):
+                    if func.id in from_random:
+                        emit(node, "RL101", f"unseeded random function {func.id}() (from random import)")
+                    if func.id in from_time:
+                        emit(
+                            node,
+                            "RL102",
+                            f"wall-clock read {func.id}(); timing must be opt-in "
+                            "(suppress per line with a justification if intentional)",
+                        )
+                    if func.id in from_os_urandom:
+                        emit(node, "RL104", "os.urandom() is nondeterministic entropy")
+
+                    # RL106 — order-sensitive consumers of a set expression
+                    if func.id in ORDER_SENSITIVE_CONSUMERS and node.args and _is_set_expr(node.args[0]):
+                        emit(
+                            node,
+                            "RL106",
+                            f"{func.id}() over an unordered set expression; wrap in sorted(...)",
+                        )
+
+                # RL106 — "sep".join(set expr)
+                if isinstance(func, ast.Attribute) and func.attr == "join" and node.args:
+                    if _is_set_expr(node.args[0]):
+                        emit(node, "RL106", "str.join over an unordered set expression; wrap in sorted(...)")
+
+                # RL105 — hash as ordering key
+                in_hash_method = any(hash_method_stack)
+                if not in_hash_method:
+                    key_kw = next((kw for kw in node.keywords if kw.arg == "key"), None)
+                    is_ordering = (isinstance(func, ast.Name) and func.id in {"sorted", "min", "max"}) or (
+                        isinstance(func, ast.Attribute) and func.attr == "sort"
+                    )
+                    if is_ordering and key_kw is not None:
+                        if (isinstance(key_kw.value, ast.Name) and key_kw.value.id == "hash") or _lambda_calls_hash(key_kw.value):
+                            emit(
+                                node,
+                                "RL105",
+                                "hash() as an ordering key: str hashes are salted per "
+                                "process, so the order differs between workers",
+                            )
+
+        Visitor().visit(source.tree)
+        return apply_suppressions(found, source.suppressions)

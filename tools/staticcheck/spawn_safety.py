@@ -1,0 +1,294 @@
+"""RL3xx — spawn-safety for the multiprocessing campaign engine.
+
+The campaign engine uses the **spawn** start method semantics as its
+portability baseline: a worker process re-imports modules from scratch and
+resolves every callable it receives *by dotted name* through pickle.  Three
+things break that, and all three are statically visible:
+
+========  ==================================================================
+RL301     a module that a spawned worker imports (statically reachable from
+          the modules of ``SPAWN_ENTRY_POINTS``) executes a side-effecting
+          bare call at import time — every worker would re-run it
+RL302     a lambda / nested function handed to a pool API
+          (``Pool.imap_unordered``, ``apply_async``, ``Process(target=)``,
+          executor ``submit``/``map``) — unpicklable under spawn
+RL303     a ``SPAWN_ENTRY_POINTS`` entry whose dotted name does not resolve
+          to a top-level ``def`` of its module — a worker could not import it
+========  ==================================================================
+
+Reachability is computed over the project's *static* import graph (``import
+x`` / ``from x import y`` statements), starting from each entry point's
+module; no code is executed.  Fixture projects treat every file as
+worker-reachable so the corpus can exercise RL301 directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.staticcheck.diagnostics import Diagnostic, apply_suppressions
+from tools.staticcheck.project import Project, SourceFile
+
+#: Pool / executor methods that ship their callable argument to a worker.
+POOL_APIS = {
+    "apply", "apply_async", "imap", "imap_unordered", "map", "map_async",
+    "starmap", "starmap_async", "submit",
+}
+
+#: Bare module-level calls that are well-known import-time idioms, not work.
+BENIGN_MODULE_CALLS = {
+    "register", "filterwarnings", "simplefilter", "seterr", "freeze_support",
+}
+
+CODES: Dict[str, str] = {
+    "RL301": "worker-imported module runs a side-effecting call at import time",
+    "RL302": "lambda/nested function handed to a pool API (unpicklable under spawn)",
+    "RL303": "SPAWN_ENTRY_POINTS entry does not name a top-level function",
+}
+
+
+def _call_tail(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class SpawnSafetyPass:
+    name = "spawn-safety"
+    codes = CODES
+    scope = ("src/repro/",)
+
+    def run(self, project: Project) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        entry_points = self._entry_points(project)
+        reachable = self._reachable_modules(project, entry_points)
+
+        for source in project.files_in_scope(self.scope):
+            file_diags: List[Diagnostic] = []
+            worker_imported = (
+                not project.enforce_scopes
+                or (source.module is not None and source.module in reachable)
+            )
+            if worker_imported:
+                file_diags.extend(self._check_import_side_effects(source))
+            file_diags.extend(self._check_pool_calls(source))
+            file_diags.extend(self._check_entry_declarations(project, source, entry_points))
+            diagnostics.extend(apply_suppressions(file_diags, source.suppressions))
+        return diagnostics
+
+    # ------------------------------------------------------------------ #
+    # entry points & import reachability
+    # ------------------------------------------------------------------ #
+    def _entry_points(self, project: Project) -> List[Tuple[SourceFile, ast.expr, Tuple[str, ...]]]:
+        """Every ``SPAWN_ENTRY_POINTS = (...)`` assignment in the project."""
+        found = []
+        for source in project.files:
+            node = source.constants.get("SPAWN_ENTRY_POINTS")
+            if node is None:
+                continue
+            resolved = project.resolve_str_tuple(source, node)
+            if resolved is not None:
+                found.append((source, node, resolved))
+        return found
+
+    def _reachable_modules(
+        self, project: Project, entry_points: List[Tuple[SourceFile, ast.expr, Tuple[str, ...]]]
+    ) -> Set[str]:
+        roots: Set[str] = set()
+        for _source, _node, dotted_names in entry_points:
+            for dotted in dotted_names:
+                module_name = dotted.rpartition(".")[0]
+                if module_name:
+                    roots.add(module_name)
+                    # importing a submodule imports its ancestor packages too
+                    parts = module_name.split(".")
+                    roots.update(".".join(parts[:i]) for i in range(1, len(parts)))
+        reachable: Set[str] = set()
+        queue = [m for m in roots if m in project.modules]
+        while queue:
+            module_name = queue.pop()
+            if module_name in reachable:
+                continue
+            reachable.add(module_name)
+            source = project.modules.get(module_name)
+            if source is None:
+                continue
+            for imported in self._imported_modules(source):
+                if imported in project.modules and imported not in reachable:
+                    queue.append(imported)
+        return reachable
+
+    @staticmethod
+    def _imported_modules(source: SourceFile) -> Set[str]:
+        imported: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                imported.update(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level == 0:
+                    imported.add(node.module)
+                    imported.update(f"{node.module}.{alias.name}" for alias in node.names)
+        return imported
+
+    # ------------------------------------------------------------------ #
+    # RL301 — import-time side effects
+    # ------------------------------------------------------------------ #
+    def _check_import_side_effects(self, source: SourceFile) -> List[Diagnostic]:
+        found: List[Diagnostic] = []
+
+        def scan(body: List[ast.stmt]) -> None:
+            for stmt in body:
+                if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                    tail = _call_tail(stmt.value)
+                    if tail in BENIGN_MODULE_CALLS:
+                        continue
+                    found.append(
+                        Diagnostic(
+                            source.rel,
+                            stmt.lineno,
+                            "RL301",
+                            f"module-level call {tail or '<dynamic>'}(...) runs in every "
+                            "spawned worker at import time; move it under "
+                            "if __name__ == '__main__' or into the entry point",
+                        )
+                    )
+                elif isinstance(stmt, ast.If):
+                    if self._is_main_or_type_checking_guard(stmt.test):
+                        continue
+                    scan(stmt.body)
+                    scan(stmt.orelse)
+                elif isinstance(stmt, ast.Try):
+                    scan(stmt.body)
+                    for handler in stmt.handlers:
+                        scan(handler.body)
+                    scan(stmt.orelse)
+                    scan(stmt.finalbody)
+                elif isinstance(stmt, (ast.With,)):
+                    found.append(
+                        Diagnostic(
+                            source.rel,
+                            stmt.lineno,
+                            "RL301",
+                            "module-level with-statement acquires a resource at import "
+                            "time in every spawned worker",
+                        )
+                    )
+
+        scan(source.tree.body)
+        return found
+
+    @staticmethod
+    def _is_main_or_type_checking_guard(test: ast.expr) -> bool:
+        if isinstance(test, ast.Compare):
+            left = test.left
+            if isinstance(left, ast.Name) and left.id == "__name__":
+                return True
+        name = test.attr if isinstance(test, ast.Attribute) else getattr(test, "id", None)
+        return name == "TYPE_CHECKING"
+
+    # ------------------------------------------------------------------ #
+    # RL302 — closures into pool APIs
+    # ------------------------------------------------------------------ #
+    def _check_pool_calls(self, source: SourceFile) -> List[Diagnostic]:
+        found: List[Diagnostic] = []
+        nested_defs = self._nested_function_names(source)
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            is_pool_method = (
+                isinstance(node.func, ast.Attribute) and node.func.attr in POOL_APIS
+            )
+            is_process_ctor = (
+                _call_tail(node) == "Process"
+                and any(kw.arg == "target" for kw in node.keywords)
+            )
+            if not (is_pool_method or is_process_ctor):
+                continue
+            candidates: List[ast.expr] = list(node.args)
+            candidates.extend(kw.value for kw in node.keywords if kw.arg in {"func", "target", "fn"})
+            for arg in candidates:
+                if isinstance(arg, ast.Lambda):
+                    found.append(
+                        Diagnostic(
+                            source.rel,
+                            arg.lineno,
+                            "RL302",
+                            "lambda handed to a pool API cannot be pickled by a "
+                            "spawn-context worker; use a module-level function",
+                        )
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in nested_defs:
+                    found.append(
+                        Diagnostic(
+                            source.rel,
+                            arg.lineno,
+                            "RL302",
+                            f"nested function {arg.id!r} handed to a pool API cannot be "
+                            "resolved by dotted name from a spawned worker; move it to "
+                            "module top level",
+                        )
+                    )
+        return found
+
+    @staticmethod
+    def _nested_function_names(source: SourceFile) -> Set[str]:
+        """Names of functions defined *inside* other functions."""
+        nested: Set[str] = set()
+        for outer in ast.walk(source.tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(outer):
+                if stmt is outer:
+                    continue
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(stmt.name)
+        return nested
+
+    # ------------------------------------------------------------------ #
+    # RL303 — entry points name top-level defs
+    # ------------------------------------------------------------------ #
+    def _check_entry_declarations(
+        self,
+        project: Project,
+        source: SourceFile,
+        entry_points: List[Tuple[SourceFile, ast.expr, Tuple[str, ...]]],
+    ) -> List[Diagnostic]:
+        found: List[Diagnostic] = []
+        for decl_source, node, dotted_names in entry_points:
+            if decl_source is not source:
+                continue
+            for dotted in dotted_names:
+                module_name, _, attr = dotted.rpartition(".")
+                target = project.modules.get(module_name)
+                if target is None:
+                    if project.enforce_scopes:
+                        found.append(
+                            Diagnostic(
+                                source.rel,
+                                node.lineno,
+                                "RL303",
+                                f"spawn entry point {dotted!r}: module {module_name!r} "
+                                "is not part of the analyzed tree",
+                            )
+                        )
+                    continue
+                is_top_level_def = any(
+                    isinstance(stmt, ast.FunctionDef) and stmt.name == attr
+                    for stmt in target.tree.body
+                )
+                if not is_top_level_def:
+                    found.append(
+                        Diagnostic(
+                            source.rel,
+                            node.lineno,
+                            "RL303",
+                            f"spawn entry point {dotted!r} is not a top-level def in "
+                            f"{module_name}; a spawn-context worker resolves entry "
+                            "points by dotted name and would fail to import it",
+                        )
+                    )
+        return found
