@@ -24,10 +24,18 @@ stream so ``repro-cc campaign --resume`` executes only the missing jobs,
 and :mod:`repro.campaign.adaptive` re-expands cells whose verdicts
 disagree across seeds with fresh seeds.
 
+And campaigns **shard across machines**: :mod:`repro.campaign.shard` adds a
+collector service (``repro-cc collect``) that hands out job ranges over the
+NDJSON socket protocol, collects acked rows from many shard processes
+(``repro-cc campaign --collector``), re-dispatches a dead shard's range via
+the resume machinery, and merges everything into one campaign file that is
+byte-identical to a local ``--jobs 1`` run.
+
 Layers: ``matrix`` (the declarative spec and its expansion), ``jobs`` (the
 picklable run job + the spawn-safe worker entry point), ``runner`` (the
 pool driver and aggregation), ``sinks``/``resume``/``adaptive`` (the
-persistence layer).  The CLI front end is ``repro-cc campaign``.
+persistence layer), ``shard`` (the distribution layer).  The CLI front end
+is ``repro-cc campaign`` / ``repro-cc collect``.
 """
 
 from repro.campaign.adaptive import disagreement_cells, rerun_jobs
@@ -35,19 +43,35 @@ from repro.campaign.jobs import JobResult, RunJob, error_result, execute_job
 from repro.campaign.matrix import CampaignSpec, FaultSchedule, expand_jobs
 from repro.campaign.resume import (
     ResumeError,
+    as_job_result,
     merge_results,
     read_rows,
     remaining_jobs,
+    validate_row_matches_job,
     validate_rows_match_jobs,
 )
-from repro.campaign.runner import CampaignResult, run_campaign
+from repro.campaign.runner import CampaignResult, run_campaign, shard_slice
+from repro.campaign.shard import (
+    CONTROL_SCHEMAS,
+    Collector,
+    CollectorState,
+    ShardRecord,
+    control_message,
+    hello_message,
+    matrix_fingerprint,
+    run_shard,
+    validate_control,
+)
 from repro.campaign.sinks import (
+    AckingSocketSink,
     BufferedSink,
     JsonlSink,
     RowSink,
     SINK_TYPES,
+    ShardProtocolError,
     SocketSink,
     TeeSink,
+    parse_address,
     sink_from_spec,
 )
 
@@ -58,9 +82,13 @@ from repro.campaign.sinks import (
 SPAWN_ENTRY_POINTS = ("repro.campaign.jobs.execute_job",)
 
 __all__ = [
+    "AckingSocketSink",
     "BufferedSink",
+    "CONTROL_SCHEMAS",
     "CampaignResult",
     "CampaignSpec",
+    "Collector",
+    "CollectorState",
     "FaultSchedule",
     "JobResult",
     "JsonlSink",
@@ -69,17 +97,28 @@ __all__ = [
     "RunJob",
     "SINK_TYPES",
     "SPAWN_ENTRY_POINTS",
+    "ShardProtocolError",
+    "ShardRecord",
     "SocketSink",
     "TeeSink",
+    "as_job_result",
+    "control_message",
     "disagreement_cells",
     "error_result",
     "execute_job",
     "expand_jobs",
+    "hello_message",
+    "matrix_fingerprint",
     "merge_results",
+    "parse_address",
     "read_rows",
     "remaining_jobs",
     "rerun_jobs",
     "run_campaign",
+    "run_shard",
+    "shard_slice",
     "sink_from_spec",
+    "validate_control",
+    "validate_row_matches_job",
     "validate_rows_match_jobs",
 ]

@@ -102,11 +102,20 @@ class JobResult:
         """The row as it is serialized: optionally timing-augmented.
 
         Used by both the streaming sinks (completion order) and the final
-        JSONL rewrite (job order), so the two byte-match per row.
+        JSONL rewrite (job order), so the two byte-match per row.  A row
+        resumed from a ``--timing`` file already carries its originally
+        measured ``steps_per_sec`` (see
+        :func:`repro.campaign.resume.as_job_result`): with timing on it is
+        kept verbatim — re-deriving it from the reconstructed elapsed time
+        could drift in the last decimal — and with timing off it is
+        stripped, so an untimed rewrite of a timed file is byte-identical
+        to an untimed campaign.
         """
         row = dict(self.row)
         if include_timing:
-            row["steps_per_sec"] = round(self.steps_per_sec, 1)
+            row.setdefault("steps_per_sec", round(self.steps_per_sec, 1))
+        else:
+            row.pop("steps_per_sec", None)
         return row
 
 

@@ -108,13 +108,23 @@ def validate_rows_match_jobs(
         job = by_index.get(int(row["job"]))
         if job is None:
             continue
-        for key, attr in _IDENTITY_ATTRS.items():
-            if key in row and row[key] != getattr(job, attr):
-                raise ResumeError(
-                    f"row for job {job.index} does not match the campaign matrix: "
-                    f"{key}={row[key]!r} in the file vs {getattr(job, attr)!r} "
-                    "expanded from the spec (is this another campaign's output file?)"
-                )
+        validate_row_matches_job(job, row)
+
+
+def validate_row_matches_job(job: RunJob, row: Dict[str, object]) -> None:
+    """Raise :class:`ResumeError` unless ``row``'s identity matches ``job``.
+
+    The single-row core of :func:`validate_rows_match_jobs`, exposed so
+    streaming consumers (the shard collector acks one row at a time) can
+    validate in O(1) per row instead of rebuilding the job index per call.
+    """
+    for key, attr in _IDENTITY_ATTRS.items():
+        if key in row and row[key] != getattr(job, attr):
+            raise ResumeError(
+                f"row for job {job.index} does not match the campaign matrix: "
+                f"{key}={row[key]!r} in the file vs {getattr(job, attr)!r} "
+                "expanded from the spec (is this another campaign's output file?)"
+            )
 
 
 def remaining_jobs(
@@ -139,11 +149,14 @@ def as_job_result(row: Dict[str, object]) -> JobResult:
     elapsed time is reconstructed from a stored ``steps_per_sec`` when
     present and zero otherwise — :attr:`JobResult.steps_per_sec` then
     reports 0.0, and summary tables render ``-`` for throughput that was
-    never measured in this process.
+    never measured in this process.  A stored ``steps_per_sec`` stays *in*
+    the row: resuming a ``--timing`` campaign must rewrite prior rows with
+    their original measured value, byte for byte, not a lossy
+    reconstruction (and certainly not without the field).
     """
     row = dict(row)
     steps = int(row.get("steps", 0) or 0)
-    steps_per_sec = row.pop("steps_per_sec", None)
+    steps_per_sec = row.get("steps_per_sec")
     elapsed = steps / float(steps_per_sec) if steps_per_sec else 0.0
     return JobResult(
         index=int(row["job"]),

@@ -148,6 +148,26 @@ class CampaignResult:
         return rows
 
 
+def shard_slice(jobs: Sequence[RunJob], index: int, count: int) -> List[RunJob]:
+    """The ``index``-th of ``count`` contiguous, near-equal job ranges.
+
+    The static sharding rule for multi-machine campaigns: every shard
+    expands the same matrix and selects its own range locally, so nothing
+    but ``index``/``count`` needs to travel.  Ranges partition the job list
+    exactly (sizes differ by at most one, earlier shards get the longer
+    ranges), so N shards' ranges merged by job index reproduce the full
+    campaign.  ``index`` is 0-based.
+    """
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index must be in [0, {count}), got {index}")
+    base, extra = divmod(len(jobs), count)
+    low = index * base + min(index, extra)
+    high = low + base + (1 if index < extra else 0)
+    return list(jobs[low:high])
+
+
 def run_campaign(
     spec_or_jobs: Union[CampaignSpec, Sequence[RunJob]],
     jobs: int = 1,

@@ -21,9 +21,40 @@ silently dropping its handle.  ``tools/check_repo.py`` enforces both via
 from __future__ import annotations
 
 import json
+import os
 import socket
 import sys
+import time
 from typing import Dict, List, Optional, Sequence, TextIO
+
+
+class ShardProtocolError(RuntimeError):
+    """The other end of a shard/collector connection broke the protocol.
+
+    Raised for permanent failures — a collector that rejected the handshake
+    (mismatched matrix), a malformed reply, a refused row — that no amount
+    of reconnecting can repair.  Transient transport failures surface as
+    :class:`ConnectionError` instead, after the reconnect budget is spent.
+    """
+
+
+def parse_address(address: str):
+    """Parse ``"tcp:HOST:PORT"`` / ``"unix:PATH"`` into ``(family, target)``."""
+    kind, _, rest = address.partition(":")
+    if kind == "unix" and rest:
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise ValueError("unix sockets are not supported on this platform")
+        return socket.AF_UNIX, rest
+    if kind == "tcp" and rest:
+        host, sep, port = rest.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(
+                f"bad socket sink address {address!r}: expected 'tcp:HOST:PORT'"
+            )
+        return socket.AF_INET, (host, int(port))
+    raise ValueError(
+        f"bad socket sink address {address!r}: expected 'tcp:HOST:PORT' or 'unix:PATH'"
+    )
 
 
 def row_line(row: Dict[str, object]) -> str:
@@ -77,6 +108,13 @@ class JsonlSink(RowSink):
     mid-``write``) — exactly what :func:`repro.campaign.resume.read_rows`
     is built to re-ingest.  ``append=True`` continues an existing file
     (the resume path); the default truncates.
+
+    Opening in append mode first drops a non-newline-terminated tail line —
+    the artifact of a previous process dying mid-``write``.  Appending the
+    first resumed row straight after such a tail would splice two rows into
+    one corrupt *mid-stream* line, which ``parse_rows`` rejects (its one
+    tolerated defect is a truncated *final* line) and the next resume would
+    then fail on.
     """
 
     def __init__(self, path: str, append: bool = False) -> None:
@@ -86,6 +124,8 @@ class JsonlSink(RowSink):
 
     def _ensure_open(self) -> TextIO:
         if self._fh is None:
+            if self.append:
+                _truncate_partial_tail(self.path)
             self._fh = open(
                 self.path, "a" if self.append else "w", buffering=1, encoding="utf-8"
             )
@@ -107,6 +147,38 @@ class JsonlSink(RowSink):
         return self.__dict__.copy()
 
 
+def _truncate_partial_tail(path: str) -> None:
+    """Cut a file back to its last complete (newline-terminated) line.
+
+    The same recovery :func:`repro.campaign.resume.parse_rows` applies on
+    read — drop the one row that was mid-write when the process died —
+    performed in place so the file can be safely appended to.
+    """
+    try:
+        fh = open(path, "rb+")
+    except FileNotFoundError:
+        return
+    with fh:
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size == 0:
+            return
+        fh.seek(size - 1)
+        if fh.read(1) == b"\n":
+            return
+        position = size
+        while position > 0:
+            step = min(4096, position)
+            fh.seek(position - step)
+            chunk = fh.read(step)
+            newline = chunk.rfind(b"\n")
+            if newline != -1:
+                fh.truncate(position - step + newline + 1)
+                return
+            position -= step
+        fh.truncate(0)  # the whole file was one partial line
+
+
 class SocketSink(RowSink):
     """Stream rows as newline-delimited JSON over TCP or a Unix socket.
 
@@ -124,27 +196,9 @@ class SocketSink(RowSink):
 
     def __init__(self, address: str) -> None:
         self.address = address
-        self._family, self._target = self._parse(address)
+        self._family, self._target = parse_address(address)
         self._sock: Optional[socket.socket] = None
         self._broken = False
-
-    @staticmethod
-    def _parse(address: str):
-        kind, _, rest = address.partition(":")
-        if kind == "unix" and rest:
-            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
-                raise ValueError("unix sockets are not supported on this platform")
-            return socket.AF_UNIX, rest
-        if kind == "tcp" and rest:
-            host, sep, port = rest.rpartition(":")
-            if not sep or not port.isdigit():
-                raise ValueError(
-                    f"bad socket sink address {address!r}: expected 'tcp:HOST:PORT'"
-                )
-            return socket.AF_INET, (host, int(port))
-        raise ValueError(
-            f"bad socket sink address {address!r}: expected 'tcp:HOST:PORT' or 'unix:PATH'"
-        )
 
     def _ensure_connected(self) -> socket.socket:
         if self._sock is None:
@@ -177,6 +231,128 @@ class SocketSink(RowSink):
         return self.__dict__.copy()
 
 
+class AckingSocketSink(SocketSink):
+    """The shard-transport mode of :class:`SocketSink`: acked and reconnecting.
+
+    Where the base sink is a best-effort observability side channel (failures
+    reported once, then dark), this mode is the *primary* transport between a
+    campaign shard and a `repro.campaign.shard` collector, so delivery is
+    confirmed and failure is loud:
+
+    * every outbound line expects exactly one NDJSON reply line — a row is
+      only considered delivered once the collector's ``{"op": "ack", ...}``
+      for its job index arrives;
+    * a broken connection is rebuilt (fresh socket, ``hello`` handshake
+      replayed, the in-flight line re-sent) up to ``retries`` times with a
+      short linear backoff — re-sending after a lost ack can hand the
+      collector a duplicate row, which is safe because rows are
+      deterministic and the collector keeps the latest copy per job index;
+    * once the reconnect budget is spent, :class:`ConnectionError` is
+      raised — a shard that lost its collector must die loudly so the
+      collector re-dispatches its unacknowledged range, not stream rows
+      into the void.
+
+    ``hello`` (optional) is a control message sent first on every (re)connect;
+    the collector must answer ``{"op": "welcome", ...}`` or the handshake
+    raises :class:`ShardProtocolError` (a rejection is permanent — it means
+    the shard's matrix does not match the collector's).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        hello: Optional[Dict[str, object]] = None,
+        retries: int = 3,
+        retry_delay: float = 0.2,
+    ) -> None:
+        super().__init__(address)
+        self.hello = dict(hello) if hello is not None else None
+        self.retries = retries
+        self.retry_delay = retry_delay
+        self.welcome: Optional[Dict[str, object]] = None
+        self._reader = None
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.socket(self._family, socket.SOCK_STREAM)
+            try:
+                self._sock.connect(self._target)
+                self._reader = self._sock.makefile("r", encoding="utf-8")
+                if self.hello is not None:
+                    self._sock.sendall(
+                        (json.dumps(self.hello, sort_keys=True) + "\n").encode("utf-8")
+                    )
+                    self.welcome = self._read_reply()
+                    if self.welcome.get("op") != "welcome":
+                        raise ShardProtocolError(
+                            f"collector at {self.address} did not welcome the "
+                            f"shard: {self.welcome!r}"
+                        )
+            except BaseException:
+                self.close()
+                raise
+        return self._sock
+
+    def _read_reply(self) -> Dict[str, object]:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("collector closed the connection")
+        try:
+            reply = json.loads(line)
+        except ValueError as exc:
+            raise ShardProtocolError(
+                f"collector at {self.address} sent a non-JSON reply: {line!r}"
+            ) from exc
+        if not isinstance(reply, dict):
+            raise ShardProtocolError(
+                f"collector at {self.address} sent a non-object reply: {reply!r}"
+            )
+        if reply.get("op") == "reject":
+            raise ShardProtocolError(
+                f"collector at {self.address} rejected the shard: {reply.get('error')}"
+            )
+        return reply
+
+    def _exchange(self, line: str) -> Dict[str, object]:
+        """Send one line, read one reply, reconnecting on transport failure."""
+        last: Optional[OSError] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.retry_delay * attempt)
+            try:
+                self._ensure_connected()
+                self._sock.sendall(line.encode("utf-8"))
+                return self._read_reply()
+            except OSError as exc:
+                last = exc
+                self.close()
+        raise ConnectionError(
+            f"lost the collector at {self.address} after {self.retries + 1} "
+            f"attempt(s): {last}"
+        )
+
+    def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Send a control message (``pull``, ...) and return the reply."""
+        return self._exchange(json.dumps(message, sort_keys=True) + "\n")
+
+    def write_row(self, row: Dict[str, object]) -> None:
+        reply = self._exchange(row_line(row) + "\n")
+        if reply.get("op") != "ack" or reply.get("job") != row.get("job"):
+            raise ShardProtocolError(
+                f"collector at {self.address} answered row {row.get('job')!r} "
+                f"with {reply!r} instead of its ack"
+            )
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:  # pragma: no cover - best-effort release
+                pass
+            self._reader = None
+        super().close()
+
+
 class TeeSink(RowSink):
     """Fan one row stream out to several sinks (e.g. JSONL file + socket)."""
 
@@ -188,8 +364,17 @@ class TeeSink(RowSink):
             sink.write_row(row)
 
     def close(self) -> None:
+        # Every sink gets its close() even when an earlier one raises —
+        # stopping at the first error would leak every later handle/socket.
+        first: Optional[Exception] = None
         for sink in self.sinks:
-            sink.close()
+            try:
+                sink.close()
+            except Exception as exc:
+                if first is None:
+                    first = exc
+        if first is not None:
+            raise first
 
 
 def sink_from_spec(spec: str) -> RowSink:
@@ -211,4 +396,4 @@ def sink_from_spec(spec: str) -> RowSink:
 #: module-top-level class that pickles by reference, and a fresh (unopened)
 #: instance must pickle round-trip — so a sink configuration can always be
 #: shipped between processes before it goes live.
-SINK_TYPES = (BufferedSink, JsonlSink, SocketSink, TeeSink)
+SINK_TYPES = (AckingSocketSink, BufferedSink, JsonlSink, SocketSink, TeeSink)

@@ -18,8 +18,18 @@ common operations:
   at the end, byte-identical for any ``--jobs``.  ``--resume`` continues an
   interrupted ``--out`` file, ``--rerun-disagreements`` re-expands cells
   whose verdicts differ across seeds, ``--stream`` mirrors rows to a
-  TCP/Unix socket.  Exit codes: 1 a checked property was violated, 2
-  malformed matrix, 3 a worker raised (error rows present),
+  TCP/Unix socket, ``--collector`` (optionally with ``--shard I/N``) turns
+  the process into one shard of a multi-machine campaign feeding a
+  ``collect`` service.  Exit codes: 1 a checked property was violated, 2
+  malformed matrix, 3 a worker raised (error rows present), 4 the
+  collector was lost or rejected this shard,
+* ``collect``  -- the merge point of a sharded campaign: listen on a
+  TCP/Unix socket, lease job ranges to connecting shards (static
+  ``--shard`` ranges and pull-based batches over the same protocol),
+  validate and ack every row against the identically expanded matrix, and
+  write the merged JSONL in job order — byte-identical to running the
+  matrix locally with ``--jobs 1``.  A dead shard's undelivered range is
+  re-dispatched to the surviving shards through the resume machinery,
 * ``scenarios``-- list the available scenarios.
 
 Examples::
@@ -33,6 +43,10 @@ Examples::
     repro-cc campaign --scenario figure1 --scenario grid-3x3 \\
         --algorithm cc1 --algorithm cc2 --random 4 --seeds 3 \\
         --jobs 4 --out rows.jsonl
+    repro-cc collect --listen tcp:0.0.0.0:7777 --out merged.jsonl \\
+        --scenario figure1 --seeds 8                  # on the head node
+    repro-cc campaign --collector tcp:head:7777 --shard 1/3 \\
+        --scenario figure1 --seeds 8 --jobs 4         # on each worker node
 """
 
 from __future__ import annotations
@@ -53,21 +67,27 @@ from repro.baselines import (
 from repro.campaign import (
     CampaignResult,
     CampaignSpec,
+    Collector,
     FaultSchedule,
     JobResult,
     JsonlSink,
     ResumeError,
     RowSink,
+    ShardProtocolError,
     TeeSink,
+    as_job_result,
     expand_jobs,
     merge_results,
     read_rows,
     remaining_jobs,
     rerun_jobs,
     run_campaign,
+    run_shard,
+    shard_slice,
     sink_from_spec,
     validate_rows_match_jobs,
 )
+from repro.campaign.sinks import row_line
 from repro.core.runner import CommitteeCoordinator
 from repro.metrics.throughput import measure_throughput
 from repro.workloads.scenarios import all_scenarios, scenario_by_name
@@ -220,34 +240,78 @@ def _warn_ignored_random_axes(args: argparse.Namespace) -> None:
         )
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
+def _expand_matrix(args: argparse.Namespace):
+    """``(spec, jobs)`` from the shared matrix flags (campaign/collect).
+
+    Every participant of a sharded campaign calls this with the same flag
+    values, so everyone expands the identical job list — the property the
+    collector's handshake fingerprint then enforces.  Raises ``KeyError`` /
+    ``ValueError`` for malformed matrices (the CLI maps those to exit 2).
+    """
     scenarios = tuple(args.scenario or ())
     if not scenarios and not args.random:
         # Mirror the run/check default so a bare `repro-cc campaign` works.
         scenarios = ("figure1",)
     if not scenarios and args.random:
         _warn_ignored_random_axes(args)
+    spec = CampaignSpec(
+        scenarios=scenarios,
+        random_count=args.random,
+        random_base_seed=args.random_seed,
+        algorithms=tuple(args.algorithm or ("cc2",)),
+        tokens=tuple(args.token or ("tree",)),
+        engines=tuple(args.engine or ("incremental",)),
+        daemons=tuple(args.daemon or ("weakly_fair",)),
+        faults=tuple(FaultSchedule.parse(text) for text in (args.faults or ("none",))),
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        max_steps=args.steps,
+        discussion_steps=args.discussion,
+        environment=args.environment,
+        grace_steps=args.grace,
+        arbitrary_start=args.arbitrary,
+    )
+    return spec, expand_jobs(spec)
+
+
+def _parse_shard(text: str):
+    """``"I/N"`` (1-based) -> 0-based ``(index, count)``; raises ValueError."""
+    head, sep, tail = text.partition("/")
+    if not sep or not head.isdigit() or not tail.isdigit():
+        raise ValueError(f"bad --shard {text!r}: expected I/N, e.g. 2/3")
+    index, count = int(head), int(tail)
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"bad --shard {text!r}: need 1 <= I <= N")
+    return index - 1, count
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    shard_spec = None
+    if args.shard:
+        try:
+            shard_spec = _parse_shard(args.shard)
+        except ValueError as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+    if shard_spec is not None and not args.collector and not args.out:
+        print(
+            "campaign: --shard without --collector needs --out (somewhere to "
+            "keep the slice's rows for a later merge)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.collector and args.rerun_disagreements:
+        print(
+            "campaign: --rerun-disagreements cannot be combined with "
+            "--collector (adaptive re-run jobs fall outside the matrix the "
+            "shards and the collector agreed on)",
+            file=sys.stderr,
+        )
+        return 2
     if args.resume and not args.out:
         print("campaign: --resume requires --out (the JSONL file to continue)", file=sys.stderr)
         return 2
     try:
-        spec = CampaignSpec(
-            scenarios=scenarios,
-            random_count=args.random,
-            random_base_seed=args.random_seed,
-            algorithms=tuple(args.algorithm or ("cc2",)),
-            tokens=tuple(args.token or ("tree",)),
-            engines=tuple(args.engine or ("incremental",)),
-            daemons=tuple(args.daemon or ("weakly_fair",)),
-            faults=tuple(FaultSchedule.parse(text) for text in (args.faults or ("none",))),
-            seeds=tuple(range(args.seed, args.seed + args.seeds)),
-            max_steps=args.steps,
-            discussion_steps=args.discussion,
-            environment=args.environment,
-            grace_steps=args.grace,
-            arbitrary_start=args.arbitrary,
-        )
-        all_jobs = expand_jobs(spec)
+        _spec, all_jobs = _expand_matrix(args)
     except (KeyError, ValueError) as exc:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
@@ -266,6 +330,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(
                 f"campaign: resuming {args.out}: {len(prior_rows)} row(s) "
                 f"already present, {len(todo)} of {len(all_jobs)} job(s) remaining"
+            )
+    if shard_spec is not None and not args.collector:
+        # Standalone static shard: run only this slice; the slices' --out
+        # files merge by job index (e.g. via a later collect --resume).
+        index, count = shard_spec
+        local = shard_slice(all_jobs, index, count)
+        todo = remaining_jobs(local, prior_rows, retry_errors=args.retry_errors)
+        if local:
+            print(
+                f"campaign: static shard {index + 1}/{count}: jobs "
+                f"{local[0].index}..{local[-1].index} of {len(all_jobs)}"
             )
 
     sinks: List[RowSink] = []
@@ -290,7 +365,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     executed: List[JobResult] = []
     jobs_all = list(all_jobs)
     try:
-        result = run_campaign(todo, jobs=args.jobs, sink=sink, sink_timing=args.timing)
+        if args.collector:
+            # Collector-fed shard: rows travel over the acking socket (plus
+            # any local sinks); the collector owns the merged artifact.
+            result = run_shard(
+                args.collector,
+                all_jobs,
+                shard=shard_spec,
+                workers=args.jobs,
+                extra_sink=sink,
+                prior_rows=prior_rows,
+                retry_errors=args.retry_errors,
+                sink_timing=args.timing,
+            )
+        else:
+            result = run_campaign(todo, jobs=args.jobs, sink=sink, sink_timing=args.timing)
         executed.extend(result.results)
         workers = result.workers
         elapsed = result.elapsed_seconds
@@ -312,6 +401,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     executed.extend(extra_result.results)
                     elapsed += extra_result.elapsed_seconds
                     merged = merge_results(prior_rows, executed)
+    except (ConnectionError, ShardProtocolError) as exc:
+        # The collector vanished past the reconnect budget, or rejected this
+        # shard outright (mismatched matrix).  Locally completed rows are in
+        # --out (if given); the collector re-dispatches the rest.
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 4
     except KeyboardInterrupt:
         if args.out:
             print(
@@ -347,6 +442,88 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if campaign.ok else 1
 
 
+def _write_rows(path: str, rows) -> None:
+    """Write rows in job order via the canonical serializer (byte-identity)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(row_line(row) + "\n")
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    try:
+        _spec, all_jobs = _expand_matrix(args)
+    except (KeyError, ValueError) as exc:
+        print(f"collect: {exc}", file=sys.stderr)
+        return 2
+    prior_rows: List[dict] = []
+    if args.resume:
+        try:
+            prior_rows = read_rows(args.out)
+        except ResumeError as exc:
+            print(f"collect: {exc}", file=sys.stderr)
+            return 2
+    try:
+        collector = Collector(all_jobs, args.listen, prior_rows=prior_rows)
+    except (ResumeError, ValueError) as exc:
+        print(f"collect: {exc}", file=sys.stderr)
+        return 2
+    try:
+        collector.start()
+    except OSError as exc:
+        print(f"collect: cannot listen on {args.listen}: {exc}", file=sys.stderr)
+        return 2
+    pending = collector.state.pending_count()
+    resumed = len(all_jobs) - pending
+    print(
+        f"collect: listening on {collector.address} — "
+        f"{pending} of {len(all_jobs)} job(s) to collect"
+        + (f" ({resumed} resumed)" if resumed else "")
+    )
+    try:
+        rows = collector.run(timeout=args.timeout)
+    except KeyboardInterrupt:
+        collector.close()
+        _write_rows(args.out, collector.state.merged_rows())
+        print(
+            f"\ncollect: interrupted — collected rows are in {args.out}; "
+            "rerun with --resume to collect the remaining jobs",
+            file=sys.stderr,
+        )
+        return 130
+    except TimeoutError as exc:
+        _write_rows(args.out, collector.state.merged_rows())
+        print(
+            f"collect: {exc} — collected rows are in {args.out}; "
+            "rerun with --resume to collect the remaining jobs",
+            file=sys.stderr,
+        )
+        return 4
+    # Rows are written verbatim (not re-derived), so whatever the shards
+    # sent — including --timing fields — survives byte-for-byte.
+    _write_rows(args.out, rows)
+    results = [as_job_result(row) for row in rows]
+    campaign = CampaignResult(
+        jobs=list(all_jobs),
+        results=results,
+        workers=max(1, len(collector.state.shards)),
+        elapsed_seconds=0.0,
+    )
+    print(
+        format_table(
+            campaign.summary_rows(),
+            title=(
+                f"Collected campaign: {len(rows)} rows via "
+                f"{len(collector.state.shards)} shard connection(s) "
+                f"({campaign.violations} with violations, {campaign.errors} errors)"
+            ),
+        )
+    )
+    print(f"wrote {len(rows)} rows to {args.out}")
+    if campaign.errors:
+        return 3
+    return 0 if campaign.ok else 1
+
+
 def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed < 1:
@@ -359,6 +536,86 @@ def _non_negative_int(value: str) -> int:
     if parsed < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return parsed
+
+
+def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
+    """The campaign-matrix flags, shared verbatim by ``campaign`` and
+    ``collect`` — both must expand the identical job list (the collector's
+    handshake fingerprint rejects shards whose matrix drifted)."""
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        help="named scenario (repeatable; default figure1 unless --random > 0)",
+    )
+    parser.add_argument(
+        "--random",
+        type=_non_negative_int,
+        default=0,
+        help="number of randomized scenarios to add (seeded, see "
+        "repro.workloads.random_scenarios)",
+    )
+    parser.add_argument(
+        "--random-seed",
+        type=int,
+        default=0,
+        help="base seed for the randomized scenarios",
+    )
+    parser.add_argument(
+        "--algorithm",
+        action="append",
+        choices=["cc1", "cc2", "cc3"],
+        help="algorithm axis (repeatable; default cc2)",
+    )
+    parser.add_argument(
+        "--token",
+        action="append",
+        choices=["tree", "ring", "oracle"],
+        help="token substrate axis for named scenarios (repeatable; default tree)",
+    )
+    parser.add_argument(
+        "--engine",
+        action="append",
+        choices=["auto", "dense", "incremental"],
+        help="engine axis (repeatable; default incremental)",
+    )
+    parser.add_argument(
+        "--daemon",
+        action="append",
+        choices=["weakly_fair", "synchronous"],
+        help="daemon axis for named scenarios (repeatable; default weakly_fair)",
+    )
+    parser.add_argument(
+        "--faults",
+        action="append",
+        help="fault-schedule axis for named scenarios: 'none' or "
+        "'EVERY:FRACTION', e.g. 50:0.4 (repeatable; default none)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=_positive_int,
+        default=1,
+        help="number of run seeds per matrix cell (consecutive from --seed)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="base run seed")
+    parser.add_argument("--steps", type=_positive_int, default=2000, help="step budget per run")
+    parser.add_argument("--discussion", type=int, default=1, help="voluntary discussion length")
+    parser.add_argument(
+        "--environment",
+        default="always",
+        help="request model for named scenarios: always, probabilistic[:P] "
+        "or bursty[:ACTIVE:QUIET]",
+    )
+    parser.add_argument(
+        "--grace",
+        type=_positive_int,
+        default=None,
+        help="Progress tail window, >= 1 (default: half the trace)",
+    )
+    parser.add_argument(
+        "--arbitrary",
+        action="store_true",
+        help="start named-scenario runs from arbitrary configurations",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -452,80 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a scenario matrix across worker processes with all "
         "streaming monitors attached",
     )
-    campaign.add_argument(
-        "--scenario",
-        action="append",
-        help="named scenario (repeatable; default figure1 unless --random > 0)",
-    )
-    campaign.add_argument(
-        "--random",
-        type=_non_negative_int,
-        default=0,
-        help="number of randomized scenarios to add (seeded, see "
-        "repro.workloads.random_scenarios)",
-    )
-    campaign.add_argument(
-        "--random-seed",
-        type=int,
-        default=0,
-        help="base seed for the randomized scenarios",
-    )
-    campaign.add_argument(
-        "--algorithm",
-        action="append",
-        choices=["cc1", "cc2", "cc3"],
-        help="algorithm axis (repeatable; default cc2)",
-    )
-    campaign.add_argument(
-        "--token",
-        action="append",
-        choices=["tree", "ring", "oracle"],
-        help="token substrate axis for named scenarios (repeatable; default tree)",
-    )
-    campaign.add_argument(
-        "--engine",
-        action="append",
-        choices=["auto", "dense", "incremental"],
-        help="engine axis (repeatable; default incremental)",
-    )
-    campaign.add_argument(
-        "--daemon",
-        action="append",
-        choices=["weakly_fair", "synchronous"],
-        help="daemon axis for named scenarios (repeatable; default weakly_fair)",
-    )
-    campaign.add_argument(
-        "--faults",
-        action="append",
-        help="fault-schedule axis for named scenarios: 'none' or "
-        "'EVERY:FRACTION', e.g. 50:0.4 (repeatable; default none)",
-    )
-    campaign.add_argument(
-        "--seeds",
-        type=_positive_int,
-        default=1,
-        help="number of run seeds per matrix cell (consecutive from --seed)",
-    )
-    campaign.add_argument("--seed", type=int, default=1, help="base run seed")
-    campaign.add_argument("--steps", type=_positive_int, default=2000, help="step budget per run")
-    campaign.add_argument("--discussion", type=int, default=1, help="voluntary discussion length")
-    campaign.add_argument(
-        "--environment",
-        default="always",
-        help="request model for named scenarios: always, probabilistic[:P] "
-        "or bursty[:ACTIVE:QUIET]",
-    )
-    campaign.add_argument(
-        "--grace",
-        type=_positive_int,
-        default=None,
-        help="Progress tail window, >= 1 (default: half the trace)",
-    )
-    campaign.add_argument(
-        "--arbitrary",
-        action="store_true",
-        help="start named-scenario runs from arbitrary configurations",
-    )
+    _add_matrix_arguments(campaign)
     campaign.add_argument(
         "--jobs",
         type=_positive_int,
@@ -571,7 +755,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="include per-run steps/sec in --out rows (machine-dependent: "
         "breaks byte-for-byte reproducibility)",
     )
+    campaign.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only the I-th of N contiguous job ranges (1-based); with "
+        "--collector the range is announced and acked, without it --out "
+        "keeps the slice for a later merge",
+    )
+    campaign.add_argument(
+        "--collector",
+        default=None,
+        metavar="ADDRESS",
+        help="deliver rows (acked, reconnecting) to a `repro-cc collect` "
+        "service at 'tcp:HOST:PORT' or 'unix:PATH'; without --shard, pull "
+        "job batches from it until the campaign is done",
+    )
     campaign.set_defaults(func=_cmd_campaign)
+
+    collect = sub.add_parser(
+        "collect",
+        help="collector service for sharded campaigns: lease job ranges to "
+        "shards, validate and merge their rows byte-identically",
+    )
+    collect.add_argument(
+        "--listen",
+        required=True,
+        help="address to listen on: 'tcp:HOST:PORT' (PORT 0 picks a free "
+        "port) or 'unix:PATH'",
+    )
+    collect.add_argument(
+        "--out",
+        required=True,
+        help="write the merged campaign JSONL here, in job order "
+        "(byte-identical to running the same matrix with --jobs 1)",
+    )
+    collect.add_argument(
+        "--resume",
+        action="store_true",
+        help="preload the rows already present in --out; shards are only "
+        "handed the missing jobs",
+    )
+    collect.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up after this many seconds without completion (collected "
+        "rows are written for a --resume retry; exit 4)",
+    )
+    _add_matrix_arguments(collect)
+    collect.set_defaults(func=_cmd_collect)
 
     return parser
 

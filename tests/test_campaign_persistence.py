@@ -92,6 +92,26 @@ class TestSinks:
             sink.write_row({"job": 1})
         assert [json.loads(l)["job"] for l in path.read_text().splitlines()] == [0, 1]
 
+    def test_jsonl_sink_append_truncates_partial_tail(self, tmp_path):
+        # An interrupted flush leaves a partial final line.  Opening the
+        # file with append=True must truncate that tail before writing, or
+        # the next appended row is glued onto the fragment and the file is
+        # unparseable from that point on.
+        path = tmp_path / "rows.jsonl"
+        good = [row_line({"job": 0, "ok": True}), row_line({"job": 1, "ok": True})]
+        path.write_text("\n".join(good) + "\n" + '{"job": 2, "ok"')
+        with JsonlSink(str(path), append=True) as sink:
+            sink.write_row({"job": 2, "ok": False})
+        assert path.read_text().splitlines() == good + [row_line({"job": 2, "ok": False})]
+        # Idempotent across repeated crashes: a second partial tail on the
+        # same file is dropped just the same.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"job": 3')
+        with JsonlSink(str(path), append=True) as sink:
+            sink.write_row({"job": 3, "ok": True})
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["job"] for row in rows] == [0, 1, 2, 3]
+
     def test_fresh_sinks_pickle_but_active_sinks_refuse(self, tmp_path):
         fresh = JsonlSink(str(tmp_path / "rows.jsonl"))
         clone = pickle.loads(pickle.dumps(fresh))
@@ -107,6 +127,29 @@ class TestSinks:
         tee = TeeSink([first, second])
         tee.write_row({"job": 7})
         assert first.rows == second.rows == [{"job": 7}]
+
+    def test_tee_sink_close_closes_every_sink_and_reraises_first_error(self):
+        closed = []
+
+        class Exploding(BufferedSink):
+            def __init__(self, name):
+                super().__init__()
+                self.name = name
+
+            def close(self):
+                closed.append(self.name)
+                raise RuntimeError(f"boom from {self.name}")
+
+        class Recording(BufferedSink):
+            def close(self):
+                closed.append("quiet")
+
+        tee = TeeSink([Exploding("first"), Recording(), Exploding("last")])
+        with pytest.raises(RuntimeError, match="boom from first"):
+            tee.close()
+        # Every sink got its close() — the first failure must not leak the
+        # file handles / sockets of the sinks behind it.
+        assert closed == ["first", "quiet", "last"]
 
     def test_unix_socket_sink_streams_rows(self, tmp_path):
         address = str(tmp_path / "rows.sock")
@@ -237,8 +280,13 @@ class TestResumeParsing:
     def test_as_job_result_reconstructs_timing(self):
         synthetic = as_job_result({"job": 4, "steps": 100, "ok": True, "steps_per_sec": 50.0})
         assert synthetic.index == 4 and synthetic.ok
-        assert "steps_per_sec" not in synthetic.row
+        # The stored measurement stays in the row: a --timing resume must
+        # rewrite prior rows with their original value, byte for byte.
+        assert synthetic.row["steps_per_sec"] == 50.0
         assert synthetic.steps_per_sec == pytest.approx(50.0)
+        # An untimed rewrite of the same result still strips it.
+        assert "steps_per_sec" not in synthetic.output_row(include_timing=False)
+        assert synthetic.output_row(include_timing=True)["steps_per_sec"] == 50.0
         untimed = as_job_result({"job": 5, "steps": 100, "ok": False})
         assert untimed.steps_per_sec == 0.0
 
@@ -279,6 +327,42 @@ class TestKillAndResume:
         assert final.jsonl_lines() == expected_lines
         final.write_jsonl(str(path))
         assert path.read_text().splitlines() == expected_lines
+
+
+    def test_timed_resume_rewrites_prior_rows_byte_identical(self, tmp_path):
+        # A --timing campaign stores machine-dependent measurements; a
+        # resume must carry the prior rows' stored values through verbatim,
+        # not re-derive them from the reconstructed elapsed time.
+        jobs = expand_jobs(_spec(scenarios=("figure1",), seeds=(1, 2)))
+        path = tmp_path / "timed.jsonl"
+        run_campaign(jobs, jobs=1).write_jsonl(str(path), include_timing=True)
+        original_lines = path.read_text().splitlines()
+        assert all("steps_per_sec" in json.loads(line) for line in original_lines)
+
+        # Pure rewrite round-trip (nothing left to execute).
+        prior = read_rows(str(path))
+        merged = merge_results(prior, [])
+        assert all("steps_per_sec" in result.row for result in merged)
+        final = CampaignResult(jobs=jobs, results=merged, workers=1, elapsed_seconds=0.0)
+        final.write_jsonl(str(path), include_timing=True)
+        assert path.read_text().splitlines() == original_lines
+
+        # Interrupted variant: the first k rows survive a crash; after the
+        # resume, exactly those k lines are still byte-identical (the
+        # re-executed jobs get fresh, legitimately different measurements).
+        k = 2
+        path.write_text("\n".join(original_lines[:k]) + "\n" + original_lines[k][:13])
+        prior = read_rows(str(path))
+        assert len(prior) == k
+        todo = remaining_jobs(jobs, prior)
+        resumed = run_campaign(todo, jobs=1)
+        merged = merge_results(prior, resumed.results)
+        final = CampaignResult(jobs=jobs, results=merged, workers=1,
+                               elapsed_seconds=resumed.elapsed_seconds)
+        final.write_jsonl(str(path), include_timing=True)
+        rewritten = path.read_text().splitlines()
+        assert len(rewritten) == len(jobs)
+        assert rewritten[:k] == original_lines[:k]
 
 
 class TestErrorRows:

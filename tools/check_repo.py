@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
 """Repo hygiene checks, tier-1-safe (fast, no network, no state mutation).
 
-These seven checks are registered in the ``repro-lint`` pass registry as
-the ``repo-*`` passes (codes RC001–RC007) — ``tools/staticcheck`` wraps the
+These eight checks are registered in the ``repro-lint`` pass registry as
+the ``repo-*`` passes (codes RC001–RC008) — ``tools/staticcheck`` wraps the
 functions below unchanged, so ``python -m tools.staticcheck`` runs them
 alongside the AST passes with unified ``file:line: CODE message``
 diagnostics.  See ``docs/STATIC_ANALYSIS.md`` for the catalogue.  This
 module remains the historical standalone entry point.
 
-Seven checks, each returning a list of human-readable error strings:
+Eight checks, each returning a list of human-readable error strings:
 
 * ``check_no_tracked_bytecode`` — no ``.pyc`` / ``__pycache__`` entries ever
   re-enter the git index (they were purged once; ``.gitignore`` keeps new
@@ -38,7 +38,13 @@ Seven checks, each returning a list of human-readable error strings:
 * ``check_sink_picklability`` — every row sink class
   (``repro.campaign.sinks.SINK_TYPES``) is a module-top-level class that
   pickles by reference, and fresh (unopened) instances pickle round-trip,
-  so sink configurations can always be shipped between processes.
+  so sink configurations can always be shipped between processes;
+* ``check_collector_merge`` — the sharding layer's control-message registry
+  (``repro.campaign.shard.CONTROL_SCHEMAS``) is self-consistent (ops carry
+  the ``"op"`` discriminator, rows never do), and an in-process collector
+  fed by two static shards over a real socket merges their streams
+  **byte-identically** to the same matrix run locally with ``--jobs 1`` —
+  the distributed sibling of ``check_campaign_rows``'s resume round-trip.
 
 Run standalone (``python tools/check_repo.py``, exit 1 on failure) or from
 the test suite (``tests/test_repo_checks.py`` calls :func:`run_checks`).
@@ -54,6 +60,7 @@ import pickle
 import re
 import subprocess
 import sys
+import threading
 from pathlib import Path
 from typing import Callable, Dict, List, Set
 
@@ -414,6 +421,9 @@ def check_sink_picklability() -> List[str]:
     except Exception as exc:  # pragma: no cover - import breakage shows everywhere
         return [f"cannot import repro.campaign.sinks: {exc!r}"]
     samples = {
+        "AckingSocketSink": sinks.AckingSocketSink(
+            "tcp:127.0.0.1:9", hello={"op": "hello"}
+        ),
         "BufferedSink": sinks.BufferedSink(),
         "JsonlSink": sinks.JsonlSink("rows.jsonl"),
         "SocketSink": sinks.SocketSink("tcp:127.0.0.1:9"),
@@ -448,6 +458,100 @@ def check_sink_picklability() -> List[str]:
 
 
 # --------------------------------------------------------------------------- #
+# 8. shard collector merge: shards' streams merged == --jobs 1 bytes
+# --------------------------------------------------------------------------- #
+#: op -> sample field values, one per registered control message.  The check
+#: builds each through ``control_message`` so a schema edit that breaks the
+#: builder (or a new op without a sample here) fails loudly in tier-1.
+CONTROL_SAMPLE_FIELDS: Dict[str, Dict[str, object]] = {
+    "hello": {"shard": None, "jobs": 0, "fingerprint": "", "range": None},
+    "welcome": {"jobs": 0, "pending": 0},
+    "reject": {"error": ""},
+    "pull": {"max": 1},
+    "grant": {"jobs": [], "done": False},
+    "ack": {"job": 0},
+}
+
+
+def check_collector_merge() -> List[str]:
+    """The distributed sibling of ``check_campaign_rows``: an in-process
+    collector fed by two static shards over a real socket must merge their
+    acked streams into exactly the bytes a local ``--jobs 1`` run writes —
+    the property `repro-cc collect`'s output file guarantee rests on.  Also
+    keeps the control-message schema registry honest: every op builds
+    through ``control_message``, every schema carries the ``"op"``
+    discriminator, and campaign rows never do (rows vs control messages are
+    distinguished by exactly that key).
+    """
+    if str(SRC_DIR) not in sys.path:
+        sys.path.insert(0, str(SRC_DIR))
+    errors: List[str] = []
+    try:
+        campaign = importlib.import_module("repro.campaign")
+        shard_mod = importlib.import_module("repro.campaign.shard")
+        campaign_jobs = importlib.import_module("repro.campaign.jobs")
+        matrix = importlib.import_module("repro.campaign.matrix")
+        sinks = importlib.import_module("repro.campaign.sinks")
+    except Exception as exc:  # pragma: no cover - import breakage shows everywhere
+        return [f"cannot import the campaign shard modules: {exc!r}"]
+
+    for op, schema in shard_mod.CONTROL_SCHEMAS.items():
+        if "op" not in schema:
+            errors.append(f"control schema {op!r} lacks the 'op' discriminator key")
+    for fields in (campaign_jobs.ROW_FIELDS, campaign_jobs.ERROR_ROW_FIELDS):
+        if "op" in fields:
+            errors.append(
+                "campaign rows must not carry an 'op' key — it is what "
+                "distinguishes control messages from rows on the wire"
+            )
+    if set(CONTROL_SAMPLE_FIELDS) != set(shard_mod.CONTROL_SCHEMAS):
+        errors.append(
+            "control-op registry drifted: CONTROL_SCHEMAS ops are "
+            f"{sorted(shard_mod.CONTROL_SCHEMAS)}, samples cover "
+            f"{sorted(CONTROL_SAMPLE_FIELDS)} (update CONTROL_SAMPLE_FIELDS)"
+        )
+    else:
+        for op, fields in CONTROL_SAMPLE_FIELDS.items():
+            try:
+                shard_mod.control_message(op, **fields)
+            except Exception as exc:
+                errors.append(f"control_message({op!r}) rejects its own schema: {exc!r}")
+    if errors:
+        return errors  # no point running the socket round-trip on a broken registry
+
+    jobs = matrix.expand_jobs(
+        matrix.CampaignSpec(scenarios=("figure1",), seeds=(1, 2), max_steps=5)
+    )
+    baseline = campaign.run_campaign(jobs, jobs=1).jsonl_lines()
+    collector = campaign.Collector(jobs, "tcp:127.0.0.1:0").start()
+    failures: List[str] = []
+
+    def feed(index: int) -> None:
+        try:
+            campaign.run_shard(collector.address, jobs, shard=(index, 2))
+        except Exception as exc:
+            failures.append(f"shard {index + 1}/2 failed: {exc!r}")
+
+    threads = [threading.Thread(target=feed, args=(index,)) for index in range(2)]
+    for thread in threads:
+        thread.start()
+    try:
+        rows = collector.run(timeout=60)
+    except TimeoutError as exc:
+        rows = []
+        failures.append(f"collector did not complete: {exc}")
+    for thread in threads:
+        thread.join(timeout=10)
+    errors.extend(failures)
+    if not failures and [sinks.row_line(row) for row in rows] != baseline:
+        errors.append(
+            "two static shards merged through the collector are not "
+            "byte-identical to the same matrix run with --jobs 1"
+        )
+    return errors
+
+
+# --------------------------------------------------------------------------- #
 # driver
 # --------------------------------------------------------------------------- #
 CHECKS: List[Callable[[], List[str]]] = [
@@ -458,6 +562,7 @@ CHECKS: List[Callable[[], List[str]]] = [
     check_spawn_entry_points,
     check_campaign_rows,
     check_sink_picklability,
+    check_collector_merge,
 ]
 
 

@@ -1,6 +1,6 @@
 """RC0xx — the historical ``tools/check_repo.py`` checks as registry passes.
 
-The seven repo-hygiene checks predate the AST suite and are *dynamic* (they
+The repo-hygiene checks predate the AST suite and are *dynamic* (they
 import ``repro``, introspect the live argparse parser, pickle things, run
 ``git ls-files``) — exactly what they need to be to catch drift between docs
 and code.  Migrating them into the pass registry gives them the shared
@@ -17,6 +17,7 @@ RC004     ``benchmarks/perf_rows.jsonl`` row-schema violations
 RC005     spawn entry points not resolvable/picklable from a worker
 RC006     campaign row-schema drift / non-byte-identical resume round-trip
 RC007     row sink classes or fresh instances that do not pickle
+RC008     collector-merged shard streams not byte-identical to ``--jobs 1``
 ========  ==============================================================
 
 These passes only run against the real repo layout; a fixture-corpus
@@ -138,5 +139,10 @@ REPO_CHECK_PASSES = (
         "repo-sinks", "RC007",
         "row sink class or fresh instance does not pickle",
         "src/repro/campaign/sinks.py", "check_sink_picklability",
+    ),
+    _make_pass(
+        "repo-collector", "RC008",
+        "control-schema drift or collector merge not byte-identical to --jobs 1",
+        "src/repro/campaign/shard.py", "check_collector_merge",
     ),
 )
