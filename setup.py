@@ -2,13 +2,17 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-cc",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of snap-stabilizing committee coordination "
         "(Bonakdarpour, Devismes, Petit — IPDPS 2011) with a deterministic "
         "campaign engine and the repro-lint static-analysis suite"
     ),
     python_requires=">=3.8",
+    # Core stays dependency-free; the batched lockstep engine is the one
+    # numpy consumer and degrades gracefully without it (solo fallback,
+    # CLI exit 2 with this extra's name).
+    extras_require={"batched": ["numpy"]},
     package_dir={"repro": "src/repro"},
     packages=find_packages("src") + ["tools", "tools.staticcheck"],
     entry_points={

@@ -39,6 +39,7 @@ is ``repro-cc campaign`` / ``repro-cc collect``.
 """
 
 from repro.campaign.adaptive import disagreement_cells, rerun_jobs
+from repro.campaign.batched import execute_job_group, group_jobs
 from repro.campaign.jobs import JobResult, RunJob, error_result, execute_job
 from repro.campaign.matrix import CampaignSpec, FaultSchedule, expand_jobs
 from repro.campaign.resume import (
@@ -106,7 +107,9 @@ __all__ = [
     "disagreement_cells",
     "error_result",
     "execute_job",
+    "execute_job_group",
     "expand_jobs",
+    "group_jobs",
     "hello_message",
     "matrix_fingerprint",
     "merge_results",

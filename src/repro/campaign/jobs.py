@@ -237,6 +237,41 @@ def _verdict_fields(verdicts: SpecVerdicts) -> Dict[str, object]:
     return fields
 
 
+def completed_row(
+    job: RunJob,
+    steps: int,
+    stop_reason: str,
+    metrics,
+    verdicts: SpecVerdicts,
+) -> Dict[str, object]:
+    """Assemble the deterministic row of a completed (non-error) run.
+
+    Single source of truth for :data:`ROW_FIELDS` content, shared by the
+    solo path below and by :mod:`repro.campaign.batched` — so a batched
+    lane's row byte-matches the solo row *by construction*, not by parallel
+    bookkeeping.
+    """
+    fairness = verdicts.fairness
+    row: Dict[str, object] = _identity_fields(job)
+    row.update({
+        "steps": steps,
+        "rounds": metrics.rounds,
+        "stop_reason": stop_reason,
+        "meetings": metrics.meetings_convened,
+        "peak_conc": metrics.peak_concurrency,
+        "mean_conc": round(metrics.mean_concurrency, 6),
+        "min_part": metrics.min_professor_participations,
+        "max_part": metrics.max_professor_participations,
+        "jain": round(fairness.professor_jain_index(), 6),
+        "starved_professors": len(fairness.starved_professors),
+        "starved_committees": len(fairness.starved_committees),
+    })
+    row.update(_verdict_fields(verdicts))
+    row["status"] = "ok" if verdicts.all_hold else "violation"
+    row["ok"] = verdicts.all_hold
+    return row
+
+
 def execute_job(job: RunJob) -> JobResult:
     """Run one job sparsely with all streaming observers attached.
 
@@ -244,6 +279,13 @@ def execute_job(job: RunJob) -> JobResult:
     module-top-level function (``tools/check_repo.py`` enforces spawn-context
     picklability).  The returned row is a pure function of the job — no
     timestamps, no machine-dependent values.
+
+    A ``batched``-engine job routes through
+    :func:`repro.campaign.batched.execute_job_group` (a one-lane batch here;
+    the serial runner groups same-scenario seeds into wider batches before
+    reaching this point).  If the scenario is outside the batched engine's
+    coverage — or numpy is missing — that module falls back to a solo
+    ``incremental`` run, which produces the identical row.
 
     **Never raises**: any exception from the run becomes an error row
     (``status="error"``) via :func:`error_result`, because an exception
@@ -253,19 +295,29 @@ def execute_job(job: RunJob) -> JobResult:
     """
     start = time.perf_counter()  # repro-lint: disable=RL102 -- elapsed_seconds is --timing-only, stripped from rows
     try:
+        if job.engine == "batched":
+            from repro.campaign.batched import execute_job_group
+
+            return execute_job_group([job])[0]
         return _run_job(job)
     except Exception as exc:
         return error_result(job, exc, elapsed_seconds=time.perf_counter() - start)  # repro-lint: disable=RL102 -- --timing-only
 
 
-def _run_job(job: RunJob) -> JobResult:
+def _run_job(job: RunJob, runtime_engine: Optional[str] = None) -> JobResult:
+    """One solo run.  ``runtime_engine`` overrides the engine actually
+    executed (the batched fallback runs ``incremental``) while the row's
+    identity block keeps ``job.engine`` — the row describes the matrix cell,
+    not the implementation detail that computed it.
+    """
+    engine = runtime_engine or job.engine
     hypergraph = job.build_hypergraph()
     coordinator = CommitteeCoordinator(
         hypergraph,
         algorithm=job.algorithm,
         token=job.token,
         seed=job.seed,
-        engine=job.engine,
+        engine=engine,
     )
     algorithm = coordinator.algorithm
     collector = StreamingMetricsCollector(hypergraph)
@@ -286,7 +338,7 @@ def _run_job(job: RunJob) -> JobResult:
             else None
         ),
         record_configurations=False,
-        engine=job.engine,
+        engine=engine,
         step_listener=[collector.observe_step, suite.observe_step],
     )
     injector = (
@@ -314,24 +366,7 @@ def _run_job(job: RunJob) -> JobResult:
 
     metrics = collector.metrics(scheduler.trace)
     verdicts = suite.verdicts()
-    fairness = verdicts.fairness
-    row: Dict[str, object] = _identity_fields(job)
-    row.update({
-        "steps": scheduler.step_index,
-        "rounds": metrics.rounds,
-        "stop_reason": stop_reason,
-        "meetings": metrics.meetings_convened,
-        "peak_conc": metrics.peak_concurrency,
-        "mean_conc": round(metrics.mean_concurrency, 6),
-        "min_part": metrics.min_professor_participations,
-        "max_part": metrics.max_professor_participations,
-        "jain": round(fairness.professor_jain_index(), 6),
-        "starved_professors": len(fairness.starved_professors),
-        "starved_committees": len(fairness.starved_committees),
-    })
-    row.update(_verdict_fields(verdicts))
-    row["status"] = "ok" if verdicts.all_hold else "violation"
-    row["ok"] = verdicts.all_hold
+    row = completed_row(job, scheduler.step_index, stop_reason, metrics, verdicts)
     return JobResult(
         index=job.index,
         row=row,

@@ -26,7 +26,7 @@ from repro.workloads.random_scenarios import random_scenarios
 from repro.workloads.request_models import environment_from_spec
 from repro.workloads.scenarios import scenario_by_name
 
-ENGINES_CHOICES = ("auto", "dense", "incremental")
+ENGINES_CHOICES = ("auto", "dense", "incremental", "batched")
 
 
 @dataclass(frozen=True)
@@ -118,6 +118,14 @@ class CampaignSpec:
         for engine in self.engines:
             if engine not in ENGINES_CHOICES:
                 raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES_CHOICES}")
+        if "batched" in self.engines:
+            from repro.kernel.batched import NUMPY_HINT, numpy_available
+
+            # Fail at spec time with the extra's name, not mid-campaign:
+            # without numpy every batched group would fall back solo, which
+            # is correct but silently forfeits the speed the user asked for.
+            if not numpy_available():
+                raise ValueError(NUMPY_HINT)
         for daemon in self.daemons:
             if daemon not in DAEMONS:
                 raise ValueError(f"unknown daemon {daemon!r}; expected one of {DAEMONS}")

@@ -215,8 +215,19 @@ def run_campaign(
 
     if jobs == 1 or len(job_list) <= 1:
         workers = 1
-        for job in job_list:
-            drain(execute_job(job))
+        # The serial path is where lockstep batching pays: consecutive
+        # same-scenario seeds with engine="batched" run as one vectorized
+        # group, split back into per-seed rows that byte-match the solo
+        # rows (see repro.campaign.batched).  Groups preserve job order,
+        # so sinks still see rows in job order here.
+        from repro.campaign.batched import execute_job_group, group_jobs
+
+        for group in group_jobs(job_list):
+            if len(group) == 1 and group[0].engine != "batched":
+                drain(execute_job(group[0]))
+            else:
+                for result in execute_job_group(group):
+                    drain(result)
     else:
         workers = min(jobs, len(job_list))
         context = multiprocessing.get_context(mp_context)

@@ -575,8 +575,10 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
         action="append",
-        choices=["auto", "dense", "incremental"],
-        help="engine axis (repeatable; default incremental)",
+        choices=["auto", "dense", "incremental", "batched"],
+        help="engine axis (repeatable; default incremental; 'batched' runs a "
+        "cell's seed sweep in numpy lockstep — rows stay byte-identical to "
+        "solo runs, requires the repro-cc[batched] extra)",
     )
     parser.add_argument(
         "--daemon",

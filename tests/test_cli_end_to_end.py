@@ -13,6 +13,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.kernel.batched import numpy_available
 
 
 class TestRunEndToEnd:
@@ -287,3 +288,123 @@ class TestCampaignCrashSafety:
                      "--stream", "rows.jsonl", "--steps", "10"])
         assert code == 2
         assert "stream spec" in capsys.readouterr().err
+
+
+class TestBatchedCampaignEndToEnd:
+    """`--engine batched` produces the same campaign bytes as solo engines.
+
+    The batched engine changes *how* a cell's seed sweep executes (one numpy
+    lockstep run instead of N solo runs), never *what* the rows say: modulo
+    the `engine` identity field the JSONL output is byte-identical to
+    `--engine incremental --jobs 1`, and resume/shard-collector flows that
+    split a batch arbitrarily still converge on the same bytes.
+    """
+
+    pytestmark = pytest.mark.skipif(
+        not numpy_available(),
+        reason="batched engine needs the repro-cc[batched] extra",
+    )
+
+    ARGV = ["campaign", "--scenario", "figure1", "--scenario", "grid-3x3",
+            "--algorithm", "cc2", "--token", "ring", "--seeds", "6",
+            "--steps", "150", "--arbitrary", "--faults", "20:0.5"]
+
+    def test_batched_bytes_equal_incremental_solo_modulo_engine_field(
+        self, capsys, tmp_path
+    ):
+        batched = tmp_path / "batched.jsonl"
+        solo = tmp_path / "solo.jsonl"
+        assert main(self.ARGV + ["--engine", "batched", "--jobs", "1",
+                                 "--out", str(batched)]) in (0, 1)
+        assert main(self.ARGV + ["--engine", "incremental", "--jobs", "1",
+                                 "--out", str(solo)]) in (0, 1)
+        capsys.readouterr()
+        # The engine field is row *identity* (it names the matrix cell), so
+        # it is the one and only byte-level difference.
+        rewritten = batched.read_text().replace('"engine": "batched"',
+                                                '"engine": "incremental"')
+        assert rewritten == solo.read_text()
+        assert len(rewritten.splitlines()) == 12
+
+    def test_batched_worker_pool_bytes_equal_serial(self, capsys, tmp_path):
+        # --jobs 2 sends each job through the pool solo (one-lane batches);
+        # --jobs 1 groups a cell's seeds into one lockstep run.  Lane
+        # independence makes the outputs literally byte-identical.
+        serial = tmp_path / "serial.jsonl"
+        pooled = tmp_path / "pooled.jsonl"
+        argv = self.ARGV + ["--engine", "batched"]
+        assert main(argv + ["--jobs", "1", "--out", str(serial)]) in (0, 1)
+        assert main(argv + ["--jobs", "2", "--out", str(pooled)]) in (0, 1)
+        capsys.readouterr()
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_resume_mid_batch_byte_identical(self, capsys, tmp_path):
+        argv = self.ARGV + ["--engine", "batched"]
+        full = tmp_path / "full.jsonl"
+        assert main(argv + ["--out", str(full)]) in (0, 1)
+        expected = full.read_bytes()
+        lines = expected.splitlines(keepends=True)
+        assert len(lines) == 12
+
+        # Truncate *inside* the first cell's 6-seed batch (after 2 of its 6
+        # rows, the 3rd cut mid-write): resume must re-run only the missing
+        # seeds — as a narrower batch — and still rewrite identical bytes.
+        part = tmp_path / "part.jsonl"
+        part.write_bytes(b"".join(lines[:2]) + lines[2][: len(lines[2]) // 2])
+        code = main(argv + ["--out", str(part), "--resume"])
+        printed = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "10 of 12 job(s) remaining" in printed
+        assert part.read_bytes() == expected
+
+    def test_collector_shard_mode_byte_identical(self, capsys, tmp_path):
+        import threading
+
+        from repro.campaign import expand_jobs, run_campaign
+        from repro.campaign.matrix import CampaignSpec, FaultSchedule
+        from repro.campaign.shard import Collector, run_shard
+        from repro.campaign.sinks import row_line
+
+        spec = CampaignSpec(
+            scenarios=("figure1", "grid-3x3"),
+            algorithms=("cc2",),
+            tokens=("ring",),
+            engines=("batched",),
+            faults=(FaultSchedule(every=20, fraction=0.5),),
+            seeds=tuple(range(6)),
+            max_steps=150,
+            arbitrary_start=True,
+        )
+        jobs = expand_jobs(spec)
+        baseline = [
+            row_line(result.output_row())
+            for result in run_campaign(jobs, jobs=1).results
+        ]
+        # Five static shards over 12 jobs: every cell's 6-seed sweep is
+        # split across shard boundaries, so the merged rows prove a batch
+        # can be cut anywhere without perturbing a lane.
+        with Collector(jobs, "tcp:127.0.0.1:0") as collector:
+            threads = [
+                threading.Thread(
+                    target=run_shard,
+                    args=(collector.address, jobs),
+                    kwargs=dict(shard=(i, 5)),
+                )
+                for i in range(5)
+            ]
+            for thread in threads:
+                thread.start()
+            merged = collector.run(timeout=120)
+            for thread in threads:
+                thread.join(timeout=15)
+        assert [row_line(row) for row in merged] == baseline
+
+    def test_batched_without_numpy_exits_two_with_hint(self, capsys, monkeypatch):
+        import repro.kernel.batched as batched_module
+
+        monkeypatch.setattr(batched_module, "_np", None)
+        code = main(["campaign", "--scenario", "figure1",
+                     "--engine", "batched", "--steps", "20"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "repro-cc[batched]" in err

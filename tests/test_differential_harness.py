@@ -18,6 +18,16 @@ so stabilization-phase violations are exercised, not just clean runs.
 The ``slow`` marker guards the long-haul variants: a >=100k-step combined
 parity run and the 1M-step sparse acceptance run mirroring
 ``repro-cc check --engine incremental --sparse``.
+
+The **batched axis** (``TestBatchedDifferential``) extends the same proof to
+the lockstep array engine: for every seeded scenario cell, batched lane *i*
+must produce a step-record stream, final configuration and spec verdicts
+byte-identical to a solo ``dense`` run with lane seed *i*.  The cell's
+*shape* (topology, algorithm, token, daemon kind, fault schedule) comes from
+the scenario seed; lane seeds vary only the seed-derived run inputs — daemon
+RNG, arbitrary initial configuration, fault-injector stream — because the
+batched engine's unit of sharing is one compiled scenario.  Skipped without
+numpy (the ``repro-cc[batched]`` extra).
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ from repro.hypergraph.generators import (
     star_hypergraph,
 )
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernel.batched import numpy_available
 from repro.kernel.daemon import SynchronousDaemon, default_daemon
 from repro.kernel.faults import FaultInjector, arbitrary_configuration
 from repro.kernel.scheduler import Scheduler, StopRun
@@ -333,6 +344,144 @@ class TestRandomScenarioFuzz:
     def test_fuzzed_scenario_parity_wide(self, seed):
         """The wide sweep: 120 more scenarios at a longer step budget."""
         self._check_one(seed, max_steps=500)
+
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(),
+    reason="batched engine needs the repro-cc[batched] extra",
+)
+
+
+def _shared_algorithm(spec: ScenarioSpec, hypergraph: Hypergraph):
+    """The scenario's algorithm object, shared by all lanes and solo refs.
+
+    Seed/engine feed only the daemon/scheduler, so building with the base
+    seed on the incremental engine yields the exact object a lane's solo run
+    would use.
+    """
+    return CommitteeCoordinator(
+        hypergraph, algorithm=spec.algorithm, token=spec.token,
+        seed=spec.seed, engine="incremental",
+    ).algorithm
+
+
+def _lane_daemon(spec: ScenarioSpec, lane_seed: int):
+    return (
+        SynchronousDaemon() if spec.daemon == "synchronous"
+        else default_daemon(seed=lane_seed)
+    )
+
+
+def _drive_batched(spec: ScenarioSpec, hypergraph: Hypergraph, algorithm,
+                   lane_seeds):
+    """One lockstep run: lane *i* gets the inputs seed ``lane_seeds[i]`` derives."""
+    from repro.core.batched_program import compile_program
+    from repro.kernel.batched import BatchedScheduler
+
+    program = compile_program(
+        algorithm, AlwaysRequestingEnvironment(spec.discussion_steps)
+    )
+    initials, daemons, injectors, suites, listeners = [], [], [], [], []
+    for lane_seed in lane_seeds:
+        initials.append(
+            arbitrary_configuration(algorithm, seed=lane_seed)
+            if spec.arbitrary_start else algorithm.initial_configuration()
+        )
+        daemons.append(_lane_daemon(spec, lane_seed))
+        injectors.append(
+            FaultInjector(algorithm, fraction=spec.burst_fraction, seed=lane_seed + 1)
+            if spec.burst_every else None
+        )
+        suite = StreamingSpecSuite(hypergraph)
+        suites.append(suite)
+        listeners.append((suite.observe_step,))
+    scheduler = BatchedScheduler(
+        program, initials, daemons,
+        injectors=injectors if spec.burst_every else None,
+        fault_every=spec.burst_every,
+        step_listeners=listeners,
+    )
+    return scheduler.run(spec.max_steps), suites
+
+
+def _drive_lane_solo(spec: ScenarioSpec, algorithm, lane_seed: int) -> Scheduler:
+    """The solo ``dense`` oracle run with lane ``lane_seed``'s inputs."""
+    scheduler = Scheduler(
+        algorithm,
+        environment=AlwaysRequestingEnvironment(spec.discussion_steps),
+        daemon=_lane_daemon(spec, lane_seed),
+        initial_configuration=(
+            arbitrary_configuration(algorithm, seed=lane_seed)
+            if spec.arbitrary_start else None
+        ),
+        record_configurations=True,
+        engine="dense",
+    )
+    injector = (
+        FaultInjector(algorithm, fraction=spec.burst_fraction, seed=lane_seed + 1)
+        if spec.burst_every else None
+    )
+    while scheduler.step_index < spec.max_steps:
+        if (
+            injector is not None
+            and scheduler.step_index
+            and scheduler.step_index % spec.burst_every == 0
+        ):
+            injector.corrupt_scheduler(scheduler)
+        try:
+            if scheduler.step() is None:
+                break
+        except StopRun:
+            break
+    return scheduler
+
+
+@requires_numpy
+class TestBatchedDifferential:
+    """Batched lane *i* == solo dense run with lane seed *i*, per scenario cell."""
+
+    @staticmethod
+    def _check_cell(spec: ScenarioSpec, lane_seeds) -> None:
+        hypergraph = spec.hypergraph()
+        algorithm = _shared_algorithm(spec, hypergraph)
+        lanes, suites = _drive_batched(spec, hypergraph, algorithm, lane_seeds)
+        for lane_seed, lane, suite in zip(lane_seeds, lanes, suites):
+            context = (spec, lane_seed)
+            solo = _drive_lane_solo(spec, algorithm, lane_seed)
+            # The execution itself: identical step records (selected sets,
+            # executed action labels, enabled/neutralized sets, rounds,
+            # writer-set deltas with epochs) and identical end states.
+            assert tuple(solo.trace.steps) == tuple(lane.trace.steps), context
+            assert solo.configuration == lane.configuration, context
+            assert solo.step_index == lane.steps, context
+            # The verdicts: the lane's streaming suite equals the dense
+            # post-hoc checkers over the solo trace.
+            _assert_verdicts_equal(
+                suite.verdicts(), _dense_verdicts(solo, hypergraph), context
+            )
+
+    @pytest.mark.parametrize("seed", range(14))
+    def test_batched_lanes_match_solo_dense(self, seed):
+        self._check_cell(generate_scenario(seed), lane_seeds=range(6))
+
+    def test_terminated_lanes_drop_out_without_disturbing_others(self):
+        # A cell with heterogeneous lane lifetimes: arbitrary starts make
+        # some lanes terminate (or stabilize) at different steps; the
+        # lockstep must keep the survivors exact after each drop-out.
+        spec = ScenarioSpec(
+            seed=3, topology="path", algorithm="cc2", token="ring",
+            daemon="weakly_fair", discussion_steps=1, arbitrary_start=True,
+            burst_every=0, burst_fraction=0.4, max_steps=220,
+        )
+        self._check_cell(spec, lane_seeds=range(10))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", (0, 5, 11))
+    def test_batched_120_seed_sweep(self, seed):
+        """The wide proof: 120 lanes per cell, every lane checked."""
+        self._check_cell(
+            generate_scenario(seed, max_steps=300), lane_seeds=range(120)
+        )
 
 
 class TestLongHaulParity:

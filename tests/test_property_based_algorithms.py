@@ -123,3 +123,84 @@ def test_property_single_pointer_implies_no_conflicting_meetings(params, seed):
         for i, a in enumerate(held):
             for b in held[i + 1:]:
                 assert not a.intersects(b)
+
+
+# --------------------------------------------------------------------------- #
+# Batched-engine lane independence
+# --------------------------------------------------------------------------- #
+#
+# The lockstep array engine shares nothing *between* lanes but the compiled
+# scenario, so a lane's campaign row must be a pure function of its own job —
+# independent of which other lanes share the batch and in what order.  These
+# properties are what lets the campaign layer regroup jobs freely (group
+# caps, shards, resume re-runs) without ever perturbing a row.
+
+import pytest as _pytest
+
+from repro.campaign import RunJob, execute_job_group
+from repro.kernel.batched import numpy_available
+
+_requires_numpy = _pytest.mark.skipif(
+    not numpy_available(),
+    reason="batched engine needs the repro-cc[batched] extra",
+)
+
+
+def _batched_job(index, seed):
+    return RunJob(
+        index=index,
+        scenario="figure1",
+        random_seed=None,
+        algorithm="cc2",
+        token="ring",
+        engine="batched",
+        daemon="weakly_fair",
+        environment="always",
+        discussion_steps=1,
+        seed=seed,
+        max_steps=120,
+        arbitrary_start=True,
+        fault_every=15,
+        fault_fraction=0.5,
+        grace_steps=None,
+    )
+
+
+def _rows_by_seed(results):
+    return {result.row["seed"]: result.output_row() for result in results}
+
+
+@_requires_numpy
+@settings(max_examples=4, deadline=None)
+@given(perm_seed=st.integers(min_value=0, max_value=10**6))
+def test_property_batch_rows_invariant_under_seed_permutation(perm_seed):
+    """Permuting the seed order within a batch never changes any lane's row."""
+    jobs = [_batched_job(index=k, seed=k) for k in range(16)]
+    baseline = _rows_by_seed(execute_job_group(jobs))
+    permuted = list(jobs)
+    random.Random(perm_seed).shuffle(permuted)
+    shuffled = _rows_by_seed(execute_job_group(permuted))
+    assert shuffled == baseline
+
+
+@_requires_numpy
+def test_property_batch_split_is_row_invariant():
+    """One batch of 64 lanes == 4 batches of 16, row for row."""
+    jobs = [_batched_job(index=k, seed=k) for k in range(64)]
+    whole = _rows_by_seed(execute_job_group(jobs))
+    split = {}
+    for part in range(4):
+        chunk = jobs[part * 16:(part + 1) * 16]
+        split.update(_rows_by_seed(execute_job_group(chunk)))
+    assert split == whole
+
+
+@_requires_numpy
+def test_property_single_lane_batch_equals_solo_row():
+    """The degenerate batch: one lane alone reproduces its row exactly."""
+    jobs = [_batched_job(index=k, seed=k) for k in range(8)]
+    grouped = _rows_by_seed(execute_job_group(jobs))
+    solo = {}
+    for job in jobs:
+        solo.update(_rows_by_seed(execute_job_group([job])))
+    assert solo == grouped

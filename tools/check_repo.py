@@ -243,6 +243,7 @@ PERF_ROWS_PATH = REPO_ROOT / "benchmarks" / "perf_rows.jsonl"
 #: perf trajectory stays aggregatable; unregistered bench names fail.
 PERF_ROW_SCHEMAS: Dict[str, Set[str]] = {
     "engine_scaling": {"engine", "n", "steps", "steps_per_sec"},
+    "engine_scaling_batched": {"engine", "runs", "n", "steps", "steps_per_sec"},
     "streaming_spec_overhead": {
         "engine", "kind", "n", "overhead", "scenario", "steps", "steps_per_sec"
     },
