@@ -31,11 +31,20 @@ NDJSON socket protocol, collects acked rows from many shard processes
 the resume machinery, and merges everything into one campaign file that is
 byte-identical to a local ``--jobs 1`` run.
 
+And rows are **cacheable and queryable at scale**: :mod:`repro.campaign.store`
+adds a content-addressed run cache (rows are pure functions of their jobs,
+so a sha256 over the identity block addresses the row a run *would*
+produce — ``repro-cc campaign --cache DIR`` short-circuits re-submitted
+jobs with byte-identical stored rows) and an array-backed columnar row
+store whose aggregate queries (``repro-cc stats``) replace per-query JSONL
+reparsing.
+
 Layers: ``matrix`` (the declarative spec and its expansion), ``jobs`` (the
 picklable run job + the spawn-safe worker entry point), ``runner`` (the
-pool driver and aggregation), ``sinks``/``resume``/``adaptive`` (the
-persistence layer), ``shard`` (the distribution layer).  The CLI front end
-is ``repro-cc campaign`` / ``repro-cc collect``.
+pool driver and aggregation), ``sinks``/``resume``/``adaptive``/``store``
+(the persistence layer), ``shard`` (the distribution layer).  The CLI
+front end is ``repro-cc campaign`` / ``repro-cc collect`` /
+``repro-cc stats``.
 """
 
 from repro.campaign.adaptive import disagreement_cells, rerun_jobs
@@ -47,6 +56,7 @@ from repro.campaign.resume import (
     as_job_result,
     merge_results,
     read_rows,
+    reconcile_extra_rows,
     remaining_jobs,
     validate_row_matches_job,
     validate_rows_match_jobs,
@@ -74,6 +84,14 @@ from repro.campaign.sinks import (
     TeeSink,
     parse_address,
     sink_from_spec,
+    write_lines_atomic,
+)
+from repro.campaign.store import (
+    CACHE_KEY_ATTRS,
+    ColumnStore,
+    RunCache,
+    run_cache_key,
+    run_cache_key_for_row,
 )
 
 #: Dotted names handed to ``multiprocessing`` workers.  ``tools/check_repo.py``
@@ -85,16 +103,19 @@ SPAWN_ENTRY_POINTS = ("repro.campaign.jobs.execute_job",)
 __all__ = [
     "AckingSocketSink",
     "BufferedSink",
+    "CACHE_KEY_ATTRS",
     "CONTROL_SCHEMAS",
     "CampaignResult",
     "CampaignSpec",
     "Collector",
     "CollectorState",
+    "ColumnStore",
     "FaultSchedule",
     "JobResult",
     "JsonlSink",
     "ResumeError",
     "RowSink",
+    "RunCache",
     "RunJob",
     "SINK_TYPES",
     "SPAWN_ENTRY_POINTS",
@@ -115,8 +136,11 @@ __all__ = [
     "merge_results",
     "parse_address",
     "read_rows",
+    "reconcile_extra_rows",
     "remaining_jobs",
     "rerun_jobs",
+    "run_cache_key",
+    "run_cache_key_for_row",
     "run_campaign",
     "run_shard",
     "shard_slice",
@@ -124,4 +148,5 @@ __all__ = [
     "validate_control",
     "validate_row_matches_job",
     "validate_rows_match_jobs",
+    "write_lines_atomic",
 ]

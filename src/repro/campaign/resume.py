@@ -127,6 +127,40 @@ def validate_row_matches_job(job: RunJob, row: Dict[str, object]) -> None:
             )
 
 
+def reconcile_extra_rows(
+    extra_jobs: Sequence[RunJob],
+    rows: Iterable[Dict[str, object]],
+) -> "tuple[List[Dict[str, object]], List[Dict[str, object]]]":
+    """Split beyond-matrix rows into ``(valid, stale)`` against re-run jobs.
+
+    :func:`validate_rows_match_jobs` deliberately ignores rows with indices
+    beyond the base matrix — their jobs are not derivable from the spec
+    alone.  On ``--resume --rerun-disagreements`` they *are* derivable: the
+    adaptive layer regenerates the same deterministic ``extra_jobs``, and
+    every prior extra row must be identity-checked against the job now at
+    its index.  A row whose index no longer exists (the disagreement set
+    changed, e.g. ``--retry-errors`` flipped a base verdict) or whose
+    identity block mismatches the regenerated job is *stale*: keeping it
+    would silently attribute a result to a different run.  Stale rows are
+    returned for reporting; their jobs re-run.
+    """
+    by_index = {job.index: job for job in extra_jobs}
+    valid: List[Dict[str, object]] = []
+    stale: List[Dict[str, object]] = []
+    for row in rows:
+        job = by_index.get(int(row["job"]))
+        if job is None:
+            stale.append(row)
+            continue
+        try:
+            validate_row_matches_job(job, row)
+        except ResumeError:
+            stale.append(row)
+        else:
+            valid.append(row)
+    return valid, stale
+
+
 def remaining_jobs(
     jobs: Sequence[RunJob],
     rows: Iterable[Dict[str, object]],

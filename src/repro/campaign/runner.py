@@ -37,7 +37,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.campaign.jobs import JobResult, RunJob, execute_job
 from repro.campaign.matrix import CampaignSpec, expand_jobs
-from repro.campaign.sinks import RowSink, row_line
+from repro.campaign.sinks import RowSink, row_line, write_lines_atomic
+from repro.campaign.store import ColumnStore, RunCache
 
 
 @dataclass
@@ -92,9 +93,16 @@ class CampaignResult:
         return [row_line(result.output_row(include_timing)) for result in self.results]
 
     def write_jsonl(self, path: str, include_timing: bool = False) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            for line in self.jsonl_lines(include_timing):
-                fh.write(line + "\n")
+        """Atomically replace ``path`` with the job-order rows.
+
+        Goes through :func:`~repro.campaign.sinks.write_lines_atomic`, so
+        the completion-order stream a crash-safe sink left at ``path`` is
+        only ever *replaced whole* — a crash mid-rewrite cannot lose
+        completed rows (the resume atomicity guarantee).
+        """
+        write_lines_atomic(
+            path, (row_line(result.output_row(include_timing)) for result in self.results)
+        )
 
     def summary_rows(self) -> List[Dict[str, object]]:
         """One row per (scenario, algorithm) cell plus a totals row.
@@ -102,32 +110,37 @@ class CampaignResult:
         Reports run/violation counts, aggregate throughput (cell steps over
         the cell's summed per-run wall time — the workers' view, independent
         of how many ran concurrently) and the fairness spread (Jain index
-        range across the cell's runs).
+        range across the cell's runs).  Cell counts/steps/Jain come from a
+        :class:`~repro.campaign.store.ColumnStore` pass over the rows (the
+        same aggregates ``repro-cc stats`` serves); per-run wall time is not
+        in the rows, so throughput is joined in from the results here.
         """
-        cells: Dict[tuple, List[JobResult]] = {}
+        # Cell identity comes from the row itself (identity fields are
+        # present on every row, error and resumed rows included), so
+        # merged results need not align index-for-index with ``jobs``.
+        elapsed_by_cell: Dict[tuple, float] = {}
         for result in self.results:
-            # Cell identity comes from the row itself (identity fields are
-            # present on every row, error and resumed rows included), so
-            # merged results need not align index-for-index with ``jobs``.
-            cells.setdefault((result.row["scenario"], result.row["algorithm"]), []).append(result)
+            key = (result.row["scenario"], result.row["algorithm"])
+            elapsed_by_cell[key] = elapsed_by_cell.get(key, 0.0) + result.elapsed_seconds
         rows: List[Dict[str, object]] = []
-        for (scenario, algorithm), results in cells.items():
-            elapsed = sum(r.elapsed_seconds for r in results)
-            steps = sum(r.steps for r in results)
+        for cell in ColumnStore.from_rows(self.rows).cell_stats():
+            elapsed = elapsed_by_cell.get((cell["scenario"], cell["algorithm"]), 0.0)
+            steps = cell["steps"]
             # Error rows carry no metrics; the Jain spread covers the
             # completed runs only (a fully errored cell renders "-").
-            jains = [float(r.row["jain"]) for r in results if r.status != "error"]
             rows.append(
                 {
-                    "scenario": scenario,
-                    "algorithm": algorithm,
-                    "runs": len(results),
-                    "violations": sum(1 for r in results if r.status == "violation"),
-                    "errors": sum(1 for r in results if r.status == "error"),
+                    "scenario": cell["scenario"],
+                    "algorithm": cell["algorithm"],
+                    "runs": cell["runs"],
+                    "violations": cell["violations"],
+                    "errors": cell["errors"],
                     "steps": steps,
                     "steps/s": round(steps / elapsed, 1) if elapsed > 0 else "-",
                     "jain min..max": (
-                        f"{min(jains):.3f}..{max(jains):.3f}" if jains else "-"
+                        f"{cell['jain_min']:.3f}..{cell['jain_max']:.3f}"
+                        if cell["jain_min"] is not None
+                        else "-"
                     ),
                 }
             )
@@ -175,6 +188,7 @@ def run_campaign(
     progress: Optional[Callable[[JobResult, int, int], None]] = None,
     sink: Optional[RowSink] = None,
     sink_timing: bool = False,
+    cache: Optional[RunCache] = None,
 ) -> CampaignResult:
     """Execute a campaign across ``jobs`` worker processes.
 
@@ -196,6 +210,14 @@ def run_campaign(
     them into ``status="error"`` rows (see
     :attr:`CampaignResult.errors`), so one poisoned job cannot discard the
     other 9,999 completed results.
+
+    ``cache`` (optional, a :class:`~repro.campaign.store.RunCache`) is
+    consulted **before dispatch**: jobs whose identity block has a cached
+    row short-circuit execution and drain the stored row immediately
+    (byte-identical by construction — rows are pure functions of their
+    jobs), and every freshly executed non-error result is stored back.
+    Hits drain first, in job order, so a sink sees them before any
+    executed row.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -206,14 +228,26 @@ def run_campaign(
     start = time.perf_counter()  # repro-lint: disable=RL102 -- campaign wall time is --timing-only, never in rows
     results: List[JobResult] = []
 
-    def drain(result: JobResult) -> None:
+    def drain(result: JobResult, executed: bool = True) -> None:
+        if executed and cache is not None:
+            cache.store(result)  # no-op for error rows
         results.append(result)
         if sink is not None:
             sink.write_row(result.output_row(include_timing=sink_timing))
         if progress is not None:
             progress(result, len(results), len(job_list))
 
-    if jobs == 1 or len(job_list) <= 1:
+    todo = job_list
+    if cache is not None:
+        todo = []
+        for job in job_list:
+            hit = cache.result_for(job)
+            if hit is None:
+                todo.append(job)
+            else:
+                drain(hit, executed=False)
+
+    if jobs == 1 or len(todo) <= 1:
         workers = 1
         # The serial path is where lockstep batching pays: consecutive
         # same-scenario seeds with engine="batched" run as one vectorized
@@ -222,19 +256,19 @@ def run_campaign(
         # so sinks still see rows in job order here.
         from repro.campaign.batched import execute_job_group, group_jobs
 
-        for group in group_jobs(job_list):
+        for group in group_jobs(todo):
             if len(group) == 1 and group[0].engine != "batched":
                 drain(execute_job(group[0]))
             else:
                 for result in execute_job_group(group):
                     drain(result)
     else:
-        workers = min(jobs, len(job_list))
+        workers = min(jobs, len(todo))
         context = multiprocessing.get_context(mp_context)
         with context.Pool(processes=workers) as pool:
             # Unordered drain: long jobs do not head-of-line-block short
             # ones.  Determinism is restored by the sort below.
-            for result in pool.imap_unordered(execute_job, job_list, chunksize=1):
+            for result in pool.imap_unordered(execute_job, todo, chunksize=1):
                 drain(result)
     results.sort(key=lambda result: result.index)
     return CampaignResult(

@@ -562,6 +562,7 @@ def run_shard(
     retry_errors: bool = False,
     retries: int = 3,
     sink_timing: bool = False,
+    cache=None,
 ) -> CampaignResult:
     """Run this machine's share of a collector-fed campaign.
 
@@ -581,7 +582,11 @@ def run_shard(
     file).  Raises :class:`ConnectionError` when the collector stays
     unreachable past the reconnect budget and
     :class:`~repro.campaign.sinks.ShardProtocolError` when it rejects the
-    shard; the caller owns ``extra_sink``'s lifecycle.
+    shard; the caller owns ``extra_sink``'s lifecycle.  ``cache``
+    (optional, a :class:`~repro.campaign.store.RunCache`) passes straight
+    through to :func:`~repro.campaign.runner.run_campaign`, so cached rows
+    short-circuit execution on this shard and still travel acked to the
+    collector like any executed row.
     """
     job_list = list(jobs)
     by_index = {job.index: job for job in job_list}
@@ -618,7 +623,7 @@ def run_shard(
             client.write_row(row)
         if local is not None:
             outcome = run_campaign(
-                local, jobs=workers, sink=sink, sink_timing=sink_timing
+                local, jobs=workers, sink=sink, sink_timing=sink_timing, cache=cache
             )
             results.extend(outcome.results)
             executed.extend(outcome.jobs)
@@ -641,7 +646,11 @@ def run_shard(
                     ) from exc
                 if granted:
                     outcome = run_campaign(
-                        granted, jobs=workers, sink=sink, sink_timing=sink_timing
+                        granted,
+                        jobs=workers,
+                        sink=sink,
+                        sink_timing=sink_timing,
+                        cache=cache,
                     )
                     results.extend(outcome.results)
                     executed.extend(outcome.jobs)

@@ -24,8 +24,9 @@ import json
 import os
 import socket
 import sys
+import tempfile
 import time
-from typing import Dict, List, Optional, Sequence, TextIO
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO
 
 
 class ShardProtocolError(RuntimeError):
@@ -145,6 +146,32 @@ class JsonlSink(RowSink):
         if self._fh is not None:
             raise TypeError("cannot pickle a JsonlSink with an open file handle")
         return self.__dict__.copy()
+
+
+def write_lines_atomic(path: str, lines: Iterable[str]) -> None:
+    """Replace ``path`` with ``lines`` atomically (temp file + ``os.replace``).
+
+    The campaign's final job-order rewrite (and the collector's merge dump)
+    must never be able to destroy completed rows: the old file — the
+    crash-safe completion-order stream — stays untouched until the new
+    bytes are fully on disk, so a crash mid-rewrite leaves a file
+    ``--resume`` can still finish from.  ``lines`` may be a generator; an
+    exception while it is being consumed (including ``KeyboardInterrupt``)
+    removes the temp file and leaves the target as it was.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".rows-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        raise
 
 
 def _truncate_partial_tail(path: str) -> None:

@@ -30,6 +30,9 @@ common operations:
   write the merged JSONL in job order — byte-identical to running the
   matrix locally with ``--jobs 1``.  A dead shard's undelivered range is
   re-dispatched to the surviving shards through the resume machinery,
+* ``stats``    -- columnar aggregates over an existing campaign rows file
+  (per-cell run/violation/error counts, step totals, Jain spread) served
+  from an array-backed column store instead of reparsing JSONL per query,
 * ``scenarios``-- list the available scenarios.
 
 Examples::
@@ -68,17 +71,20 @@ from repro.campaign import (
     CampaignResult,
     CampaignSpec,
     Collector,
+    ColumnStore,
     FaultSchedule,
     JobResult,
     JsonlSink,
     ResumeError,
     RowSink,
+    RunCache,
     ShardProtocolError,
     TeeSink,
     as_job_result,
     expand_jobs,
     merge_results,
     read_rows,
+    reconcile_extra_rows,
     remaining_jobs,
     rerun_jobs,
     run_campaign,
@@ -87,7 +93,7 @@ from repro.campaign import (
     sink_from_spec,
     validate_rows_match_jobs,
 )
-from repro.campaign.sinks import row_line
+from repro.campaign.sinks import row_line, write_lines_atomic
 from repro.core.runner import CommitteeCoordinator
 from repro.metrics.throughput import measure_throughput
 from repro.workloads.scenarios import all_scenarios, scenario_by_name
@@ -345,13 +351,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     sinks: List[RowSink] = []
     if args.out:
-        # Truncate-and-rewrite the surviving prior rows first: this drops
-        # the partial tail line an interrupted write may have left, then
-        # the same sink keeps appending freshly completed rows.
-        jsonl_sink = JsonlSink(args.out)
-        for row in prior_rows:
-            jsonl_sink.write_row(row)
-        sinks.append(jsonl_sink)
+        # Resume appends: the prior rows are already on disk and are never
+        # rewritten mid-campaign (append mode only drops the partial tail
+        # line an interrupted write may have left) — a crash here cannot
+        # lose a completed row.  A fresh campaign truncates as before.
+        sinks.append(JsonlSink(args.out, append=args.resume))
     if args.stream:
         try:
             sinks.append(sink_from_spec(args.stream))
@@ -362,8 +366,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if sinks:
         sink = sinks[0] if len(sinks) == 1 else TeeSink(sinks)
 
+    cache = RunCache(args.cache) if args.cache else None
+
     executed: List[JobResult] = []
     jobs_all = list(all_jobs)
+    # Rows at indices beyond the matrix come from an earlier
+    # --rerun-disagreements pass; the base matrix cannot vouch for them
+    # (see reconcile_extra_rows / the orphan contract below).
+    base_prior = [row for row in prior_rows if int(row["job"]) < len(all_jobs)]
+    extra_prior = [row for row in prior_rows if int(row["job"]) >= len(all_jobs)]
     try:
         if args.collector:
             # Collector-fed shard: rows travel over the acking socket (plus
@@ -377,9 +388,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 prior_rows=prior_rows,
                 retry_errors=args.retry_errors,
                 sink_timing=args.timing,
+                cache=cache,
             )
         else:
-            result = run_campaign(todo, jobs=args.jobs, sink=sink, sink_timing=args.timing)
+            result = run_campaign(
+                todo, jobs=args.jobs, sink=sink, sink_timing=args.timing, cache=cache
+            )
         executed.extend(result.results)
         workers = result.workers
         elapsed = result.elapsed_seconds
@@ -387,20 +401,52 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.rerun_disagreements:
             base_results = [r for r in merged if r.index < len(all_jobs)]
             extra_jobs = rerun_jobs(all_jobs, base_results)
+            # Prior extra rows are only trustworthy if they match the
+            # regenerated re-run jobs identity-for-identity; a stale row
+            # (the disagreement set changed, e.g. --retry-errors flipped a
+            # base verdict) must re-run, not masquerade as another job.
+            valid_extra, stale_extra = reconcile_extra_rows(extra_jobs, extra_prior)
+            if stale_extra:
+                print(
+                    f"campaign: {len(stale_extra)} prior re-run row(s) do not "
+                    "match the regenerated re-run jobs (stale disagreement "
+                    "set); re-running them",
+                    file=sys.stderr,
+                )
+            merged = merge_results(base_prior + valid_extra, executed)
             if extra_jobs:
                 jobs_all = all_jobs + extra_jobs
-                extra_todo = remaining_jobs(extra_jobs, prior_rows, retry_errors=args.retry_errors)
+                extra_todo = remaining_jobs(
+                    extra_jobs, valid_extra, retry_errors=args.retry_errors
+                )
                 print(
                     f"campaign: verdicts disagree across seeds — appending "
                     f"{len(extra_jobs)} fresh-seed job(s) ({len(extra_todo)} still to execute)"
                 )
                 if extra_todo:
                     extra_result = run_campaign(
-                        extra_todo, jobs=args.jobs, sink=sink, sink_timing=args.timing
+                        extra_todo,
+                        jobs=args.jobs,
+                        sink=sink,
+                        sink_timing=args.timing,
+                        cache=cache,
                     )
                     executed.extend(extra_result.results)
                     elapsed += extra_result.elapsed_seconds
-                    merged = merge_results(prior_rows, executed)
+                    merged = merge_results(base_prior + valid_extra, executed)
+        elif extra_prior:
+            # The pinned orphan contract: without --rerun-disagreements the
+            # re-run jobs are not regenerated, so these rows cannot be
+            # validated — but dropping completed rows would break the
+            # no-row-loss guarantee.  They are kept, counted in the summary
+            # and the exit code, and called out here.
+            print(
+                f"campaign: keeping {len(extra_prior)} re-run row(s) beyond "
+                f"the {len(all_jobs)}-job matrix (from an earlier "
+                "--rerun-disagreements); pass --rerun-disagreements to "
+                "validate them against regenerated re-run jobs",
+                file=sys.stderr,
+            )
     except (ConnectionError, ShardProtocolError) as exc:
         # The collector vanished past the reconnect budget, or rejected this
         # shard outright (mismatched matrix).  Locally completed rows are in
@@ -431,11 +477,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if cache is not None:
+        print(
+            f"campaign: cache {args.cache}: {cache.hits} hit(s), "
+            f"{cache.misses} miss(es), {cache.stored} row(s) stored"
+        )
     if args.out:
         # Final job-order rewrite: the streamed file is in completion
         # order; the finished artifact is byte-identical to an
-        # uninterrupted --jobs 1 run.
-        campaign.write_jsonl(args.out, include_timing=args.timing)
+        # uninterrupted --jobs 1 run.  The rewrite is atomic (temp file +
+        # os.replace), so an interrupt here leaves the completion-order
+        # stream intact for --resume.
+        try:
+            campaign.write_jsonl(args.out, include_timing=args.timing)
+        except KeyboardInterrupt:
+            print(
+                f"\ncampaign: interrupted during the final rewrite — "
+                f"completed rows are in {args.out}; rerun with --resume "
+                "to finish",
+                file=sys.stderr,
+            )
+            return 130
         print(f"wrote {len(campaign.results)} rows to {args.out}")
     if campaign.errors:
         return 3
@@ -443,10 +505,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _write_rows(path: str, rows) -> None:
-    """Write rows in job order via the canonical serializer (byte-identity)."""
-    with open(path, "w", encoding="utf-8") as fh:
-        for row in rows:
-            fh.write(row_line(row) + "\n")
+    """Atomically write rows via the canonical serializer (byte-identity).
+
+    ``write_lines_atomic`` means a crash mid-write can never destroy the
+    rows already collected at ``path`` — the collector's merge dump shares
+    the campaign rewrite's atomicity guarantee.
+    """
+    write_lines_atomic(path, (row_line(row) for row in rows))
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
@@ -522,6 +587,55 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     if campaign.errors:
         return 3
     return 0 if campaign.ok else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Columnar aggregates over an existing rows file, without re-running.
+
+    Loads the JSONL into a :class:`~repro.campaign.store.ColumnStore` once
+    and serves every aggregate (per-cell counts, step totals, Jain spread,
+    status breakdown) from the typed columns — the query path the summary
+    table itself uses.
+    """
+    try:
+        rows = read_rows(args.rows)
+    except ResumeError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    if not rows:
+        print(f"stats: no rows in {args.rows}", file=sys.stderr)
+        return 2
+    store = ColumnStore.from_rows(rows)
+    table = []
+    for cell in store.cell_stats():
+        table.append(
+            {
+                "scenario": cell["scenario"],
+                "algorithm": cell["algorithm"],
+                "runs": cell["runs"],
+                "violations": cell["violations"],
+                "errors": cell["errors"],
+                "steps": cell["steps"],
+                "jain min..max": (
+                    f"{cell['jain_min']:.3f}..{cell['jain_max']:.3f}"
+                    if cell["jain_min"] is not None
+                    else "-"
+                ),
+            }
+        )
+    table.append(
+        {
+            "scenario": "TOTAL",
+            "algorithm": "-",
+            "runs": len(store),
+            "violations": store.violation_count(),
+            "errors": store.error_count(),
+            "steps": store.total_steps(),
+            "jain min..max": "-",
+        }
+    )
+    print(format_table(table, title=f"Stats: {len(store)} rows from {args.rows}"))
+    return 0
 
 
 def _positive_int(value: str) -> int:
@@ -773,6 +887,15 @@ def build_parser() -> argparse.ArgumentParser:
         "service at 'tcp:HOST:PORT' or 'unix:PATH'; without --shard, pull "
         "job batches from it until the campaign is done",
     )
+    campaign.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed run cache: jobs whose identity block "
+        "already has a cached row skip execution and emit the stored row "
+        "(byte-identical — rows are pure functions of their jobs); every "
+        "freshly executed non-error row is stored back",
+    )
     campaign.set_defaults(func=_cmd_campaign)
 
     collect = sub.add_parser(
@@ -807,6 +930,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_matrix_arguments(collect)
     collect.set_defaults(func=_cmd_collect)
+
+    stats = sub.add_parser(
+        "stats",
+        help="columnar aggregates over an existing campaign rows file "
+        "(per-cell counts, step totals, Jain spread) without re-running",
+    )
+    stats.add_argument(
+        "rows",
+        help="campaign JSONL file (a campaign/collect --out artifact)",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     return parser
 

@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
 """Repo hygiene checks, tier-1-safe (fast, no network, no state mutation).
 
-These eight checks are registered in the ``repro-lint`` pass registry as
-the ``repo-*`` passes (codes RC001–RC008) — ``tools/staticcheck`` wraps the
+These nine checks are registered in the ``repro-lint`` pass registry as
+the ``repo-*`` passes (codes RC001–RC009) — ``tools/staticcheck`` wraps the
 functions below unchanged, so ``python -m tools.staticcheck`` runs them
 alongside the AST passes with unified ``file:line: CODE message``
 diagnostics.  See ``docs/STATIC_ANALYSIS.md`` for the catalogue.  This
 module remains the historical standalone entry point.
 
-Eight checks, each returning a list of human-readable error strings:
+Nine checks, each returning a list of human-readable error strings:
 
 * ``check_no_tracked_bytecode`` — no ``.pyc`` / ``__pycache__`` entries ever
   re-enter the git index (they were purged once; ``.gitignore`` keeps new
@@ -39,6 +39,11 @@ Eight checks, each returning a list of human-readable error strings:
   (``repro.campaign.sinks.SINK_TYPES``) is a module-top-level class that
   pickles by reference, and fresh (unopened) instances pickle round-trip,
   so sink configurations can always be shipped between processes;
+* ``check_run_cache_key`` — the content-addressed run cache's key
+  (``repro.campaign.store.CACHE_KEY_ATTRS``) covers exactly the row
+  identity block minus the job index, with a per-field sensitivity sweep:
+  every identity attribute must change the key, the index must not — so a
+  new ``RunJob`` axis cannot silently alias cache entries across runs;
 * ``check_collector_merge`` — the sharding layer's control-message registry
   (``repro.campaign.shard.CONTROL_SCHEMAS``) is self-consistent (ops carry
   the ``"op"`` discriminator, rows never do), and an in-process collector
@@ -250,6 +255,12 @@ PERF_ROW_SCHEMAS: Dict[str, Set[str]] = {
     "campaign_scaling": {"jobs", "runs", "total_steps", "seconds", "runs_per_sec"},
     "campaign_sink_overhead": {
         "sink", "runs", "total_steps", "seconds", "runs_per_sec", "overhead"
+    },
+    "run_cache_resubmission": {
+        "variant", "runs", "cold_seconds", "cached_seconds", "speedup"
+    },
+    "row_store_aggregates": {
+        "query", "rows", "jsonl_seconds", "store_seconds", "speedup"
     },
 }
 
@@ -553,6 +564,80 @@ def check_collector_merge() -> List[str]:
 
 
 # --------------------------------------------------------------------------- #
+# 9. run-cache key covers exactly the row identity (drift bites here)
+# --------------------------------------------------------------------------- #
+def _mutated_value(value: object) -> object:
+    """A different-but-same-shape value for the key-sensitivity sweep."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 0.5
+    if isinstance(value, str):
+        return value + "-mutant"
+    return 0 if value is None else None
+
+
+def check_run_cache_key() -> List[str]:
+    """The content-addressed run cache is only safe while its key pins the
+    *entire* run identity: ``CACHE_KEY_ATTRS`` must equal
+    ``ROW_IDENTITY_ATTRS`` minus ``"job"`` (the index is a matrix position,
+    not run identity), every identity attribute must flip the key when it
+    changes (a new ``RunJob`` axis that the key ignores would alias cache
+    entries across different runs — this sweep is where that drift bites),
+    and the index must *not* flip it (or reshaped matrices would never hit).
+    """
+    if str(SRC_DIR) not in sys.path:
+        sys.path.insert(0, str(SRC_DIR))
+    errors: List[str] = []
+    try:
+        store = importlib.import_module("repro.campaign.store")
+        campaign_jobs = importlib.import_module("repro.campaign.jobs")
+        matrix = importlib.import_module("repro.campaign.matrix")
+    except Exception as exc:  # pragma: no cover - import breakage shows everywhere
+        return [f"cannot import the campaign store modules: {exc!r}"]
+    expected = {
+        key: attr
+        for key, attr in campaign_jobs.ROW_IDENTITY_ATTRS.items()
+        if key != "job"
+    }
+    if dict(store.CACHE_KEY_ATTRS) != expected:
+        errors.append(
+            "CACHE_KEY_ATTRS drifted from ROW_IDENTITY_ATTRS minus 'job': "
+            f"missing {sorted(set(expected) - set(store.CACHE_KEY_ATTRS))}, "
+            f"extra {sorted(set(store.CACHE_KEY_ATTRS) - set(expected))}"
+        )
+        return errors  # the sweep below would just repeat this per field
+    import dataclasses
+
+    job = matrix.expand_jobs(matrix.CampaignSpec(scenarios=("figure1",), max_steps=5))[0]
+    base = store.run_cache_key(job)
+    for key, attr in expected.items():
+        mutated = dataclasses.replace(
+            job, **{attr: _mutated_value(getattr(job, attr))}
+        )
+        if store.run_cache_key(mutated) == base:
+            errors.append(
+                f"run_cache_key ignores identity field {key!r} (RunJob.{attr}): "
+                "two different runs would share a cache entry"
+            )
+    if store.run_cache_key(dataclasses.replace(job, index=job.index + 1)) != base:
+        errors.append(
+            "run_cache_key depends on the job index — the same run at a "
+            "different matrix position would never hit"
+        )
+    if store.run_cache_key_for_row(
+        {k: getattr(job, a) for k, a in campaign_jobs.ROW_IDENTITY_ATTRS.items()}
+    ) != base:
+        errors.append(
+            "run_cache_key_for_row disagrees with run_cache_key for the "
+            "same identity block"
+        )
+    return errors
+
+
+# --------------------------------------------------------------------------- #
 # driver
 # --------------------------------------------------------------------------- #
 CHECKS: List[Callable[[], List[str]]] = [
@@ -564,6 +649,7 @@ CHECKS: List[Callable[[], List[str]]] = [
     check_campaign_rows,
     check_sink_picklability,
     check_collector_merge,
+    check_run_cache_key,
 ]
 
 

@@ -18,6 +18,7 @@ RC005     spawn entry points not resolvable/picklable from a worker
 RC006     campaign row-schema drift / non-byte-identical resume round-trip
 RC007     row sink classes or fresh instances that do not pickle
 RC008     collector-merged shard streams not byte-identical to ``--jobs 1``
+RC009     run-cache key drift against the row identity block
 ========  ==============================================================
 
 These passes only run against the real repo layout; a fixture-corpus
@@ -144,5 +145,10 @@ REPO_CHECK_PASSES = (
         "repo-collector", "RC008",
         "control-schema drift or collector merge not byte-identical to --jobs 1",
         "src/repro/campaign/shard.py", "check_collector_merge",
+    ),
+    _make_pass(
+        "repo-run-cache", "RC009",
+        "run-cache key drift against ROW_IDENTITY_ATTRS (identity not fully keyed)",
+        "src/repro/campaign/store.py", "check_run_cache_key",
     ),
 )
