@@ -18,10 +18,19 @@ Two invariants are asserted:
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
+import time
 
-from repro.campaign import CampaignSpec, FaultSchedule, JsonlSink, run_campaign
+from repro.campaign import (
+    CampaignSpec,
+    FaultSchedule,
+    JsonlSink,
+    execute_job,
+    expand_jobs,
+    run_campaign,
+)
 
 #: 3 scenarios x 2 algorithms x 2 seeds x 2 fault schedules = 24 jobs.
 MATRIX = CampaignSpec(
@@ -158,6 +167,81 @@ def test_campaign_sink_overhead(report, perf_row, tmp_path):
     )
 
 
+#: Driver-overhead comparison matrix: per-job work must dominate so the
+#: measured delta is the pipeline's fixed cost (plan + collector fan-out +
+#: result assembly), not noise in short runs.
+DRIVER_MATRIX = CampaignSpec(
+    scenarios=("figure1", "path-6"),
+    algorithms=("cc1", "cc2"),
+    seeds=(1, 2, 3),
+    max_steps=400,
+)
+#: The layered plan → dispatch → collect → finalize pipeline may cost at most
+#: this fraction of wall-clock over calling ``execute_job`` in a bare loop.
+MAX_DRIVER_OVERHEAD = 0.02
+#: More reps than the sink bench: a 2% ceiling needs the best-of-N minimum to
+#: converge below scheduler drift, so samples are short and numerous.
+DRIVER_SAMPLE_REPS = 5
+
+
+def run_driver_overhead(perf_emit):
+    jobs = expand_jobs(DRIVER_MATRIX)
+    best = {}
+    last = {}
+    for _ in range(DRIVER_SAMPLE_REPS):
+        # Interleaved best-of-N (the sink-overhead pattern): alternating the
+        # variants within each rep keeps machine drift from loading one side.
+        start = time.perf_counter()  # repro-lint: disable=RL102 -- bench harness timing, not simulation state
+        inline = [execute_job(job) for job in jobs]
+        inline_seconds = time.perf_counter() - start  # repro-lint: disable=RL102 -- bench harness timing, not simulation state
+        result = run_campaign(jobs, jobs=1)
+        last["inline"], last["driver"] = inline, result
+        best["inline"] = min(best.get("inline", inline_seconds), inline_seconds)
+        best["driver"] = min(best.get("driver", result.elapsed_seconds), result.elapsed_seconds)
+    overhead = round(best["driver"] / best["inline"] - 1.0, 4)
+    total_steps = sum(r.steps for r in last["inline"])
+    rows = []
+    for variant in ("inline", "driver"):
+        perf_emit(
+            {
+                "bench": "campaign_driver_overhead",
+                "variant": variant,
+                "runs": len(jobs),
+                "total_steps": total_steps,
+                "seconds": round(best[variant], 3),
+                "overhead": 0.0 if variant == "inline" else overhead,
+            }
+        )
+        rows.append(
+            {
+                "variant": variant,
+                "runs": len(jobs),
+                "best wall s": round(best[variant], 3),
+                "overhead": "-" if variant == "inline" else f"{overhead:+.1%}",
+            }
+        )
+    return rows, best, last
+
+
+def test_campaign_driver_overhead(report, perf_row):
+    rows, best, last = run_driver_overhead(perf_row)
+    report(
+        "Campaign driver overhead: pipeline vs bare execute_job loop (best of 3)",
+        rows,
+    )
+    # The pipeline must add structure, not rows: its output byte-matches the
+    # bare loop's results serialized the same way.
+    inline_lines = [
+        json.dumps(r.output_row(), sort_keys=True) for r in last["inline"]
+    ]
+    assert inline_lines == last["driver"].jsonl_lines()
+    overhead = best["driver"] / best["inline"] - 1.0
+    assert overhead <= MAX_DRIVER_OVERHEAD, (
+        f"campaign driver pipeline cost {overhead:.2%} of wall-clock over a "
+        f"bare execute_job loop; ceiling is {MAX_DRIVER_OVERHEAD:.0%}"
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - manual perf runs
     from conftest import emit, emit_json_row
 
@@ -166,3 +250,5 @@ if __name__ == "__main__":  # pragma: no cover - manual perf runs
     with tempfile.TemporaryDirectory() as tmp:
         sink_table, _, _ = run_sink_overhead(emit_json_row, os.path.join(tmp, "rows.jsonl"))
     emit("Campaign sink overhead", sink_table)
+    driver_table, _, _ = run_driver_overhead(emit_json_row)
+    emit("Campaign driver overhead", driver_table)

@@ -39,9 +39,23 @@ jobs with byte-identical stored rows) and an array-backed columnar row
 store whose aggregate queries (``repro-cc stats``) replace per-query JSONL
 reparsing.
 
+And every frontend drives **one layered pipeline**:
+:mod:`repro.campaign.driver` decomposes campaign orchestration into
+composable stages — :class:`~repro.campaign.driver.CampaignPlan` (matrix
+expansion + resume reconciliation + cache probe), an
+:class:`~repro.campaign.driver.Executor`
+(:class:`~repro.campaign.driver.SerialExecutor` /
+:class:`~repro.campaign.driver.PoolExecutor` /
+:class:`~repro.campaign.driver.ShardExecutor`), a
+:class:`~repro.campaign.driver.RowCollector` fan-out and a
+:class:`~repro.campaign.driver.Finalizer` — composed by
+:class:`~repro.campaign.driver.CampaignDriver` for the CLI, the shard
+client and the future always-on service alike.
+
 Layers: ``matrix`` (the declarative spec and its expansion), ``jobs`` (the
-picklable run job + the spawn-safe worker entry point), ``runner`` (the
-pool driver and aggregation), ``sinks``/``resume``/``adaptive``/``store``
+picklable run job + the spawn-safe worker entry point), ``driver`` (the
+plan → dispatch → collect → finalize stages), ``runner`` (the classic
+one-call frontend over them), ``sinks``/``resume``/``adaptive``/``store``
 (the persistence layer), ``shard`` (the distribution layer).  The CLI
 front end is ``repro-cc campaign`` / ``repro-cc collect`` /
 ``repro-cc stats``.
@@ -49,6 +63,17 @@ front end is ``repro-cc campaign`` / ``repro-cc collect`` /
 
 from repro.campaign.adaptive import disagreement_cells, rerun_jobs
 from repro.campaign.batched import execute_job_group, group_jobs
+from repro.campaign.driver import (
+    CampaignDriver,
+    CampaignOutcome,
+    CampaignPlan,
+    Executor,
+    Finalizer,
+    PoolExecutor,
+    RowCollector,
+    SerialExecutor,
+    ShardExecutor,
+)
 from repro.campaign.jobs import JobResult, RunJob, error_result, execute_job
 from repro.campaign.matrix import CampaignSpec, FaultSchedule, expand_jobs
 from repro.campaign.resume import (
@@ -105,20 +130,29 @@ __all__ = [
     "BufferedSink",
     "CACHE_KEY_ATTRS",
     "CONTROL_SCHEMAS",
+    "CampaignDriver",
+    "CampaignOutcome",
+    "CampaignPlan",
     "CampaignResult",
     "CampaignSpec",
     "Collector",
     "CollectorState",
     "ColumnStore",
+    "Executor",
     "FaultSchedule",
+    "Finalizer",
     "JobResult",
     "JsonlSink",
+    "PoolExecutor",
     "ResumeError",
+    "RowCollector",
     "RowSink",
     "RunCache",
     "RunJob",
     "SINK_TYPES",
     "SPAWN_ENTRY_POINTS",
+    "SerialExecutor",
+    "ShardExecutor",
     "ShardProtocolError",
     "ShardRecord",
     "SocketSink",

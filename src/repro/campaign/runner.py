@@ -1,10 +1,16 @@
-"""The campaign driver: worker pool, aggregation, deterministic JSONL rows.
+"""``run_campaign``: the classic one-call frontend over the layered driver.
 
 :func:`run_campaign` expands a :class:`~repro.campaign.matrix.CampaignSpec`
 (or takes pre-expanded jobs), executes every job — serially for ``jobs=1``,
 across a ``multiprocessing`` pool otherwise — and returns a
 :class:`CampaignResult` with per-run rows in job-index order, per-cell
-summary rows and the campaign wall-clock.
+summary rows and the campaign wall-clock.  Since the driver decomposition
+it is a thin composition of the stages in :mod:`repro.campaign.driver`
+(:class:`~repro.campaign.driver.CampaignPlan` →
+:class:`~repro.campaign.driver.SerialExecutor` /
+:class:`~repro.campaign.driver.PoolExecutor` →
+:class:`~repro.campaign.driver.RowCollector`); the CLI, the shard client
+and the service layer compose the same stages with more context.
 
 Determinism contract: each row is a pure function of its
 :class:`~repro.campaign.jobs.RunJob`, results are re-sorted by job index
@@ -25,20 +31,29 @@ The pool uses the ``spawn`` start method by default: it is the only method
 available everywhere and the strictest about what a worker can receive,
 which keeps :func:`~repro.campaign.jobs.execute_job` honest (enforced by
 ``tools/check_repo.py``).  Pass ``mp_context="fork"`` on platforms where the
-per-worker interpreter start-up dominates very small campaigns.
+per-worker interpreter start-up dominates very small campaigns (exposed as
+``repro-cc campaign --mp-context``).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.campaign.jobs import JobResult, RunJob, execute_job
+from repro.campaign.driver import (
+    CampaignPlan,
+    PoolExecutor,
+    RowCollector,
+    SerialExecutor,
+    shard_slice,
+)
+from repro.campaign.jobs import JobResult, RunJob
 from repro.campaign.matrix import CampaignSpec, expand_jobs
 from repro.campaign.sinks import RowSink, row_line, write_lines_atomic
 from repro.campaign.store import ColumnStore, RunCache
+
+__all__ = ["CampaignResult", "run_campaign", "shard_slice"]
 
 
 @dataclass
@@ -49,6 +64,11 @@ class CampaignResult:
     results: List[JobResult]  # in job-index order
     workers: int
     elapsed_seconds: float  # campaign wall-clock
+    #: The live per-row aggregate the collect stage accumulated during the
+    #: drain (when the campaign ran through the driver); ``summary_rows``
+    #: serves from it instead of rebuilding a store, and the service layer
+    #: mounts it as the campaign's queryable view.
+    store: Optional[ColumnStore] = field(default=None, repr=False, compare=False)
 
     @property
     def rows(self) -> List[Dict[str, object]]:
@@ -104,16 +124,42 @@ class CampaignResult:
             path, (row_line(result.output_row(include_timing)) for result in self.results)
         )
 
+    def _cell_stats(self) -> List[Dict[str, object]]:
+        """Per-cell aggregates in the rows' first-appearance (job) order.
+
+        Serves from the carried live :attr:`store` when it covers exactly
+        these results; otherwise (hand-built result, store/results drift)
+        falls back to a fresh columnar pass.  The carried store accumulated
+        rows in *completion* order, so cell order is re-derived from the
+        job-ordered results either way — the summary is byte-identical to
+        the historical rebuild-from-rows path.
+        """
+        store = self.store
+        if store is None or len(store) != len(self.results):
+            store = ColumnStore.from_rows(self.rows)
+        stats: Dict[Tuple[object, object], Dict[str, object]] = {
+            (cell["scenario"], cell["algorithm"]): cell for cell in store.cell_stats()
+        }
+        ordered: List[Dict[str, object]] = []
+        seen = set()
+        for result in self.results:
+            key = (result.row["scenario"], result.row["algorithm"])
+            if key not in seen:
+                seen.add(key)
+                ordered.append(stats[key])
+        return ordered
+
     def summary_rows(self) -> List[Dict[str, object]]:
         """One row per (scenario, algorithm) cell plus a totals row.
 
         Reports run/violation counts, aggregate throughput (cell steps over
         the cell's summed per-run wall time — the workers' view, independent
         of how many ran concurrently) and the fairness spread (Jain index
-        range across the cell's runs).  Cell counts/steps/Jain come from a
-        :class:`~repro.campaign.store.ColumnStore` pass over the rows (the
-        same aggregates ``repro-cc stats`` serves); per-run wall time is not
-        in the rows, so throughput is joined in from the results here.
+        range across the cell's runs).  Cell counts/steps/Jain come from the
+        :class:`~repro.campaign.store.ColumnStore` the collect stage
+        accumulated during the drain (the same aggregates ``repro-cc
+        stats`` serves); per-run wall time is not in the rows, so throughput
+        is joined in from the results here.
         """
         # Cell identity comes from the row itself (identity fields are
         # present on every row, error and resumed rows included), so
@@ -123,7 +169,7 @@ class CampaignResult:
             key = (result.row["scenario"], result.row["algorithm"])
             elapsed_by_cell[key] = elapsed_by_cell.get(key, 0.0) + result.elapsed_seconds
         rows: List[Dict[str, object]] = []
-        for cell in ColumnStore.from_rows(self.rows).cell_stats():
+        for cell in self._cell_stats():
             elapsed = elapsed_by_cell.get((cell["scenario"], cell["algorithm"]), 0.0)
             steps = cell["steps"]
             # Error rows carry no metrics; the Jain spread covers the
@@ -159,26 +205,6 @@ class CampaignResult:
             }
         )
         return rows
-
-
-def shard_slice(jobs: Sequence[RunJob], index: int, count: int) -> List[RunJob]:
-    """The ``index``-th of ``count`` contiguous, near-equal job ranges.
-
-    The static sharding rule for multi-machine campaigns: every shard
-    expands the same matrix and selects its own range locally, so nothing
-    but ``index``/``count`` needs to travel.  Ranges partition the job list
-    exactly (sizes differ by at most one, earlier shards get the longer
-    ranges), so N shards' ranges merged by job index reproduce the full
-    campaign.  ``index`` is 0-based.
-    """
-    if count < 1:
-        raise ValueError("shard count must be >= 1")
-    if not 0 <= index < count:
-        raise ValueError(f"shard index must be in [0, {count}), got {index}")
-    base, extra = divmod(len(jobs), count)
-    low = index * base + min(index, extra)
-    high = low + base + (1 if index < extra else 0)
-    return list(jobs[low:high])
 
 
 def run_campaign(
@@ -226,54 +252,24 @@ def run_campaign(
     else:
         job_list = list(spec_or_jobs)
     start = time.perf_counter()  # repro-lint: disable=RL102 -- campaign wall time is --timing-only, never in rows
-    results: List[JobResult] = []
-
-    def drain(result: JobResult, executed: bool = True) -> None:
-        if executed and cache is not None:
-            cache.store(result)  # no-op for error rows
-        results.append(result)
-        if sink is not None:
-            sink.write_row(result.output_row(include_timing=sink_timing))
-        if progress is not None:
-            progress(result, len(results), len(job_list))
-
-    todo = job_list
-    if cache is not None:
-        todo = []
-        for job in job_list:
-            hit = cache.result_for(job)
-            if hit is None:
-                todo.append(job)
-            else:
-                drain(hit, executed=False)
-
-    if jobs == 1 or len(todo) <= 1:
-        workers = 1
-        # The serial path is where lockstep batching pays: consecutive
-        # same-scenario seeds with engine="batched" run as one vectorized
-        # group, split back into per-seed rows that byte-match the solo
-        # rows (see repro.campaign.batched).  Groups preserve job order,
-        # so sinks still see rows in job order here.
-        from repro.campaign.batched import execute_job_group, group_jobs
-
-        for group in group_jobs(todo):
-            if len(group) == 1 and group[0].engine != "batched":
-                drain(execute_job(group[0]))
-            else:
-                for result in execute_job_group(group):
-                    drain(result)
+    plan = CampaignPlan(job_list, cache=cache)
+    collector = RowCollector(
+        sink=sink,
+        sink_timing=sink_timing,
+        cache=cache,
+        progress=progress,
+        total=len(plan.jobs),
+    )
+    for hit in plan.cached_results:
+        collector.add_cached(hit)
+    if jobs == 1 or len(plan.todo) <= 1:
+        workers = SerialExecutor().run(plan.todo, collector)
     else:
-        workers = min(jobs, len(todo))
-        context = multiprocessing.get_context(mp_context)
-        with context.Pool(processes=workers) as pool:
-            # Unordered drain: long jobs do not head-of-line-block short
-            # ones.  Determinism is restored by the sort below.
-            for result in pool.imap_unordered(execute_job, todo, chunksize=1):
-                drain(result)
-    results.sort(key=lambda result: result.index)
+        workers = PoolExecutor(jobs, mp_context=mp_context).run(plan.todo, collector)
     return CampaignResult(
-        jobs=job_list,
-        results=results,
+        jobs=plan.jobs,
+        results=collector.finish(),
         workers=workers,
         elapsed_seconds=time.perf_counter() - start,  # repro-lint: disable=RL102 -- --timing-only
+        store=collector.store,
     )

@@ -46,14 +46,13 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.campaign.driver import RowCollector, ShardExecutor
 from repro.campaign.jobs import ROW_IDENTITY_ATTRS, RunJob
 from repro.campaign.resume import ResumeError, remaining_jobs, validate_row_matches_job
-from repro.campaign.runner import CampaignResult, run_campaign, shard_slice
+from repro.campaign.runner import CampaignResult
 from repro.campaign.sinks import (
-    AckingSocketSink,
     RowSink,
     ShardProtocolError,
-    TeeSink,
     parse_address,
     row_line,
 )
@@ -563,13 +562,14 @@ def run_shard(
     retries: int = 3,
     sink_timing: bool = False,
     cache=None,
+    mp_context: str = "spawn",
 ) -> CampaignResult:
     """Run this machine's share of a collector-fed campaign.
 
     ``jobs`` is the *full* expanded matrix (every participant expands it
     identically; the handshake enforces that).  ``shard=(index, count)``
     (0-based) selects static mode: this process announces its
-    :func:`~repro.campaign.runner.shard_slice` range and runs it.  Without
+    :func:`~repro.campaign.driver.shard_slice` range and runs it.  Without
     ``shard`` the process is a pull worker: it asks the collector for
     ``batch`` job indices at a time (default ``max(workers,``
     :data:`DEFAULT_PULL_BATCH` ``)``) until the collector says ``done``.
@@ -583,90 +583,33 @@ def run_shard(
     unreachable past the reconnect budget and
     :class:`~repro.campaign.sinks.ShardProtocolError` when it rejects the
     shard; the caller owns ``extra_sink``'s lifecycle.  ``cache``
-    (optional, a :class:`~repro.campaign.store.RunCache`) passes straight
-    through to :func:`~repro.campaign.runner.run_campaign`, so cached rows
-    short-circuit execution on this shard and still travel acked to the
-    collector like any executed row.
+    (optional, a :class:`~repro.campaign.store.RunCache`) is probed per
+    granted batch, so cached rows short-circuit execution on this shard
+    and still travel acked to the collector like any executed row.
+
+    Since the driver decomposition this is a thin composition of the
+    shared stages: a :class:`~repro.campaign.driver.ShardExecutor` (which
+    owns the protocol loop above) draining into a
+    :class:`~repro.campaign.driver.RowCollector`.
     """
-    job_list = list(jobs)
-    by_index = {job.index: job for job in job_list}
-    prior = [
-        row
-        for row in (prior_rows or ())
-        if isinstance(row.get("job"), int) and row["job"] in by_index
-    ]
-    local: Optional[List[RunJob]] = None
-    job_range: Optional[Tuple[int, int]] = None
-    if shard is not None:
-        index, count = shard
-        local = shard_slice(job_list, index, count)
-        if local:
-            job_range = (local[0].index, local[-1].index + 1)
-        else:
-            job_range = (0, 0)
-        if prior:
-            local = remaining_jobs(local, prior, retry_errors=retry_errors)
-        if name is None:
-            name = f"{index + 1}/{count}"
-    client = AckingSocketSink(
+    executor = ShardExecutor(
         address,
-        hello=hello_message(job_list, shard=name, job_range=job_range),
+        jobs,
+        shard=shard,
+        name=name,
+        workers=workers,
+        mp_context=mp_context,
+        batch=batch,
         retries=retries,
+        prior_rows=prior_rows or (),
+        retry_errors=retry_errors,
     )
-    sink: RowSink = client if extra_sink is None else TeeSink([client, extra_sink])
-    results: List = []
-    executed: List[RunJob] = []
-    elapsed = 0.0
-    workers_used = 1
-    try:
-        for row in prior:
-            client.write_row(row)
-        if local is not None:
-            outcome = run_campaign(
-                local, jobs=workers, sink=sink, sink_timing=sink_timing, cache=cache
-            )
-            results.extend(outcome.results)
-            executed.extend(outcome.jobs)
-            elapsed += outcome.elapsed_seconds
-            workers_used = outcome.workers
-        else:
-            limit = batch if batch is not None else max(workers, DEFAULT_PULL_BATCH)
-            while True:
-                grant = client.request(control_message("pull", max=limit))
-                if grant.get("op") != "grant":
-                    raise ShardProtocolError(
-                        f"collector at {address} answered a pull with {grant!r}"
-                    )
-                try:
-                    granted = [by_index[index] for index in grant.get("jobs") or ()]
-                except (KeyError, TypeError) as exc:
-                    raise ShardProtocolError(
-                        f"collector at {address} granted unknown jobs: "
-                        f"{grant.get('jobs')!r}"
-                    ) from exc
-                if granted:
-                    outcome = run_campaign(
-                        granted,
-                        jobs=workers,
-                        sink=sink,
-                        sink_timing=sink_timing,
-                        cache=cache,
-                    )
-                    results.extend(outcome.results)
-                    executed.extend(outcome.jobs)
-                    elapsed += outcome.elapsed_seconds
-                    workers_used = max(workers_used, outcome.workers)
-                elif grant.get("done"):
-                    break
-                # An empty, not-done grant means the collector briefly had
-                # nothing unleased; its lease() blocks server-side, so this
-                # is rare — just ask again.
-    finally:
-        client.close()
-    results.sort(key=lambda result: result.index)
+    collector = RowCollector(sink=extra_sink, sink_timing=sink_timing, cache=cache)
+    workers_used = executor.run((), collector)
     return CampaignResult(
-        jobs=executed,
-        results=results,
+        jobs=executor.jobs_run,
+        results=collector.finish(),
         workers=workers_used,
-        elapsed_seconds=elapsed,
+        elapsed_seconds=executor.elapsed,
+        store=collector.store,
     )

@@ -68,12 +68,13 @@ from repro.baselines import (
     ManagerTokenCoordinator,
 )
 from repro.campaign import (
+    CampaignDriver,
     CampaignResult,
     CampaignSpec,
     Collector,
     ColumnStore,
     FaultSchedule,
-    JobResult,
+    Finalizer,
     JsonlSink,
     ResumeError,
     RowSink,
@@ -82,14 +83,7 @@ from repro.campaign import (
     TeeSink,
     as_job_result,
     expand_jobs,
-    merge_results,
     read_rows,
-    reconcile_extra_rows,
-    remaining_jobs,
-    rerun_jobs,
-    run_campaign,
-    run_shard,
-    shard_slice,
     sink_from_spec,
     validate_rows_match_jobs,
 )
@@ -290,163 +284,71 @@ def _parse_shard(text: str):
     return index - 1, count
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    shard_spec = None
-    if args.shard:
-        try:
-            shard_spec = _parse_shard(args.shard)
-        except ValueError as exc:
-            print(f"campaign: {exc}", file=sys.stderr)
-            return 2
+def _check_campaign_flags(args: argparse.Namespace, shard_spec) -> None:
+    """Reject flag combinations the pipeline cannot honor (CLI exit 2)."""
     if shard_spec is not None and not args.collector and not args.out:
-        print(
-            "campaign: --shard without --collector needs --out (somewhere to "
-            "keep the slice's rows for a later merge)",
-            file=sys.stderr,
+        raise ValueError(
+            "--shard without --collector needs --out (somewhere to "
+            "keep the slice's rows for a later merge)"
         )
-        return 2
     if args.collector and args.rerun_disagreements:
-        print(
-            "campaign: --rerun-disagreements cannot be combined with "
-            "--collector (adaptive re-run jobs fall outside the matrix the "
-            "shards and the collector agreed on)",
-            file=sys.stderr,
+        raise ValueError(
+            "--rerun-disagreements cannot be combined with --collector "
+            "(adaptive re-run jobs fall outside the matrix the shards and "
+            "the collector agreed on)"
         )
-        return 2
     if args.resume and not args.out:
-        print("campaign: --resume requires --out (the JSONL file to continue)", file=sys.stderr)
-        return 2
-    try:
-        _spec, all_jobs = _expand_matrix(args)
-    except (KeyError, ValueError) as exc:
-        print(f"campaign: {exc}", file=sys.stderr)
-        return 2
+        raise ValueError("--resume requires --out (the JSONL file to continue)")
 
-    prior_rows: List[dict] = []
-    todo = all_jobs
-    if args.resume:
-        try:
+
+def _warn(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Flag-parsing adapter over the layered campaign driver.
+
+    Everything campaign-shaped — resume reconciliation, cache probing,
+    dispatch, row fan-out, the summary and the atomic job-order rewrite —
+    lives in :class:`repro.campaign.CampaignDriver`; this function only
+    parses flags, builds the sinks (resume appends, so prior rows are
+    validated *before* a sink may touch the file) and maps the driver's
+    exceptions onto exit codes.
+    """
+    sinks: List[RowSink] = []
+    try:
+        shard_spec = _parse_shard(args.shard) if args.shard else None
+        _check_campaign_flags(args, shard_spec)
+        _spec, all_jobs = _expand_matrix(args)
+        prior_rows: List[dict] = []
+        if args.resume:
             prior_rows = read_rows(args.out)
             validate_rows_match_jobs(all_jobs, prior_rows)
-        except ResumeError as exc:
-            print(f"campaign: {exc}", file=sys.stderr)
-            return 2
-        todo = remaining_jobs(all_jobs, prior_rows, retry_errors=args.retry_errors)
-        if prior_rows:
-            print(
-                f"campaign: resuming {args.out}: {len(prior_rows)} row(s) "
-                f"already present, {len(todo)} of {len(all_jobs)} job(s) remaining"
-            )
-    if shard_spec is not None and not args.collector:
-        # Standalone static shard: run only this slice; the slices' --out
-        # files merge by job index (e.g. via a later collect --resume).
-        index, count = shard_spec
-        local = shard_slice(all_jobs, index, count)
-        todo = remaining_jobs(local, prior_rows, retry_errors=args.retry_errors)
-        if local:
-            print(
-                f"campaign: static shard {index + 1}/{count}: jobs "
-                f"{local[0].index}..{local[-1].index} of {len(all_jobs)}"
-            )
-
-    sinks: List[RowSink] = []
-    if args.out:
-        # Resume appends: the prior rows are already on disk and are never
-        # rewritten mid-campaign (append mode only drops the partial tail
-        # line an interrupted write may have left) — a crash here cannot
-        # lose a completed row.  A fresh campaign truncates as before.
-        sinks.append(JsonlSink(args.out, append=args.resume))
-    if args.stream:
-        try:
+        if args.out:
+            sinks.append(JsonlSink(args.out, append=args.resume))
+        if args.stream:
             sinks.append(sink_from_spec(args.stream))
-        except ValueError as exc:
-            print(f"campaign: {exc}", file=sys.stderr)
-            return 2
-    sink: Optional[RowSink] = None
-    if sinks:
-        sink = sinks[0] if len(sinks) == 1 else TeeSink(sinks)
-
-    cache = RunCache(args.cache) if args.cache else None
-
-    executed: List[JobResult] = []
-    jobs_all = list(all_jobs)
-    # Rows at indices beyond the matrix come from an earlier
-    # --rerun-disagreements pass; the base matrix cannot vouch for them
-    # (see reconcile_extra_rows / the orphan contract below).
-    base_prior = [row for row in prior_rows if int(row["job"]) < len(all_jobs)]
-    extra_prior = [row for row in prior_rows if int(row["job"]) >= len(all_jobs)]
+    except (KeyError, ValueError, ResumeError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    driver = CampaignDriver(
+        all_jobs,
+        jobs=args.jobs,
+        mp_context=args.mp_context,
+        sink=(sinks[0] if len(sinks) == 1 else TeeSink(sinks)) if sinks else None,
+        timing=args.timing,
+        cache=RunCache(args.cache) if args.cache else None,
+        prior_rows=prior_rows,
+        retry_errors=args.retry_errors,
+        rerun_disagreements=args.rerun_disagreements,
+        shard=shard_spec,
+        collector=args.collector,
+        out=args.out,
+        info=print,
+        warn=_warn,
+    )
     try:
-        if args.collector:
-            # Collector-fed shard: rows travel over the acking socket (plus
-            # any local sinks); the collector owns the merged artifact.
-            result = run_shard(
-                args.collector,
-                all_jobs,
-                shard=shard_spec,
-                workers=args.jobs,
-                extra_sink=sink,
-                prior_rows=prior_rows,
-                retry_errors=args.retry_errors,
-                sink_timing=args.timing,
-                cache=cache,
-            )
-        else:
-            result = run_campaign(
-                todo, jobs=args.jobs, sink=sink, sink_timing=args.timing, cache=cache
-            )
-        executed.extend(result.results)
-        workers = result.workers
-        elapsed = result.elapsed_seconds
-        merged = merge_results(prior_rows, executed)
-        if args.rerun_disagreements:
-            base_results = [r for r in merged if r.index < len(all_jobs)]
-            extra_jobs = rerun_jobs(all_jobs, base_results)
-            # Prior extra rows are only trustworthy if they match the
-            # regenerated re-run jobs identity-for-identity; a stale row
-            # (the disagreement set changed, e.g. --retry-errors flipped a
-            # base verdict) must re-run, not masquerade as another job.
-            valid_extra, stale_extra = reconcile_extra_rows(extra_jobs, extra_prior)
-            if stale_extra:
-                print(
-                    f"campaign: {len(stale_extra)} prior re-run row(s) do not "
-                    "match the regenerated re-run jobs (stale disagreement "
-                    "set); re-running them",
-                    file=sys.stderr,
-                )
-            merged = merge_results(base_prior + valid_extra, executed)
-            if extra_jobs:
-                jobs_all = all_jobs + extra_jobs
-                extra_todo = remaining_jobs(
-                    extra_jobs, valid_extra, retry_errors=args.retry_errors
-                )
-                print(
-                    f"campaign: verdicts disagree across seeds — appending "
-                    f"{len(extra_jobs)} fresh-seed job(s) ({len(extra_todo)} still to execute)"
-                )
-                if extra_todo:
-                    extra_result = run_campaign(
-                        extra_todo,
-                        jobs=args.jobs,
-                        sink=sink,
-                        sink_timing=args.timing,
-                        cache=cache,
-                    )
-                    executed.extend(extra_result.results)
-                    elapsed += extra_result.elapsed_seconds
-                    merged = merge_results(base_prior + valid_extra, executed)
-        elif extra_prior:
-            # The pinned orphan contract: without --rerun-disagreements the
-            # re-run jobs are not regenerated, so these rows cannot be
-            # validated — but dropping completed rows would break the
-            # no-row-loss guarantee.  They are kept, counted in the summary
-            # and the exit code, and called out here.
-            print(
-                f"campaign: keeping {len(extra_prior)} re-run row(s) beyond "
-                f"the {len(all_jobs)}-job matrix (from an earlier "
-                "--rerun-disagreements); pass --rerun-disagreements to "
-                "validate them against regenerated re-run jobs",
-                file=sys.stderr,
-            )
+        driver.execute()
     except (ConnectionError, ShardProtocolError) as exc:
         # The collector vanished past the reconnect budget, or rejected this
         # shard outright (mismatched matrix).  Locally completed rows are in
@@ -464,44 +366,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     finally:
         for open_sink in sinks:
             open_sink.close()
-
-    campaign = CampaignResult(
-        jobs=jobs_all, results=merged, workers=workers, elapsed_seconds=elapsed
-    )
-    print(
-        format_table(
-            campaign.summary_rows(),
-            title=(
-                f"Campaign: {len(campaign.results)} runs x {campaign.workers} workers "
-                f"({campaign.violations} with violations, {campaign.errors} errors)"
-            ),
-        )
-    )
-    if cache is not None:
-        print(
-            f"campaign: cache {args.cache}: {cache.hits} hit(s), "
-            f"{cache.misses} miss(es), {cache.stored} row(s) stored"
-        )
-    if args.out:
-        # Final job-order rewrite: the streamed file is in completion
-        # order; the finished artifact is byte-identical to an
-        # uninterrupted --jobs 1 run.  The rewrite is atomic (temp file +
-        # os.replace), so an interrupt here leaves the completion-order
-        # stream intact for --resume.
-        try:
-            campaign.write_jsonl(args.out, include_timing=args.timing)
-        except KeyboardInterrupt:
+    try:
+        return driver.finalize().exit_code
+    except KeyboardInterrupt:
+        if args.out:
             print(
                 f"\ncampaign: interrupted during the final rewrite — "
                 f"completed rows are in {args.out}; rerun with --resume "
                 "to finish",
                 file=sys.stderr,
             )
-            return 130
-        print(f"wrote {len(campaign.results)} rows to {args.out}")
-    if campaign.errors:
-        return 3
-    return 0 if campaign.ok else 1
+        return 130
 
 
 def _write_rows(path: str, rows) -> None:
@@ -563,9 +438,6 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 4
-    # Rows are written verbatim (not re-derived), so whatever the shards
-    # sent — including --timing fields — survives byte-for-byte.
-    _write_rows(args.out, rows)
     results = [as_job_result(row) for row in rows]
     campaign = CampaignResult(
         jobs=list(all_jobs),
@@ -573,20 +445,20 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         workers=max(1, len(collector.state.shards)),
         elapsed_seconds=0.0,
     )
-    print(
-        format_table(
-            campaign.summary_rows(),
-            title=(
-                f"Collected campaign: {len(rows)} rows via "
-                f"{len(collector.state.shards)} shard connection(s) "
-                f"({campaign.violations} with violations, {campaign.errors} errors)"
-            ),
-        )
+    # ``rows`` + ``write_before_summary``: the merged rows are written
+    # verbatim (not re-derived) and ahead of the table, so whatever the
+    # shards sent — including --timing fields — survives byte-for-byte.
+    outcome = Finalizer(out=args.out, info=print, prefix="collect").finalize(
+        campaign,
+        title=(
+            f"Collected campaign: {len(rows)} rows via "
+            f"{len(collector.state.shards)} shard connection(s) "
+            f"({campaign.violations} with violations, {campaign.errors} errors)"
+        ),
+        rows=rows,
+        write_before_summary=True,
     )
-    print(f"wrote {len(rows)} rows to {args.out}")
-    if campaign.errors:
-        return 3
-    return 0 if campaign.ok else 1
+    return outcome.exit_code
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -895,6 +767,16 @@ def build_parser() -> argparse.ArgumentParser:
         "already has a cached row skip execution and emit the stored row "
         "(byte-identical — rows are pure functions of their jobs); every "
         "freshly executed non-error row is stored back",
+    )
+    campaign.add_argument(
+        "--mp-context",
+        choices=["spawn", "fork"],
+        default="spawn",
+        help="multiprocessing start method for the --jobs worker pool "
+        "(default spawn — available everywhere and the strictest about "
+        "what a worker receives; fork skips the per-worker interpreter "
+        "start-up that dominates very small campaigns on POSIX; rows are "
+        "byte-identical either way)",
     )
     campaign.set_defaults(func=_cmd_campaign)
 

@@ -215,10 +215,10 @@ class TestRunCache:
         jobs = expand_jobs(SPEC)
         cache = RunCache(str(tmp_path / "cache"))
         baseline = run_campaign(jobs, jobs=1, cache=cache)
-        import repro.campaign.runner as runner_module
+        import repro.campaign.driver as driver_module
 
         monkeypatch.setattr(
-            runner_module, "execute_job",
+            driver_module, "execute_job",
             lambda job: (_ for _ in ()).throw(AssertionError("no job should run")),
         )
         cached = run_campaign(jobs, jobs=1, cache=cache)
@@ -329,10 +329,10 @@ class TestResumeCrashSafety:
 
         part = tmp_path / "part.jsonl"
         part.write_bytes(b"".join(lines[:3]))
-        import repro.campaign.runner as runner_module
+        import repro.campaign.driver as driver_module
 
         monkeypatch.setattr(
-            runner_module, "execute_job",
+            driver_module, "execute_job",
             lambda job: (_ for _ in ()).throw(KeyboardInterrupt()),
         )
         code = main(self.ARGV + ["--out", str(part), "--resume"])
@@ -372,8 +372,10 @@ class TestResumeCrashSafety:
         assert sorted(streamed.splitlines()) == sorted(expected.splitlines())
         monkeypatch.setattr(runner_module, "row_line", real_row_line)
         # ...so a resume executes nothing and lands byte-identical.
+        import repro.campaign.driver as driver_module
+
         monkeypatch.setattr(
-            runner_module, "execute_job",
+            driver_module, "execute_job",
             lambda job: (_ for _ in ()).throw(AssertionError("no job should run")),
         )
         assert main(self.ARGV + ["--out", str(out), "--resume"]) in (0, 1)
@@ -420,10 +422,10 @@ class TestRerunRowReconciliation:
     ):
         out, _ = self._disagreement_file(tmp_path, capsys)
         expected = out.read_bytes()
-        import repro.campaign.runner as runner_module
+        import repro.campaign.driver as driver_module
 
         monkeypatch.setattr(
-            runner_module, "execute_job",
+            driver_module, "execute_job",
             lambda job: (_ for _ in ()).throw(AssertionError("no job should run")),
         )
         code = main(self.ARGV + ["--out", str(out), "--resume"])

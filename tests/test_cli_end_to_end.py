@@ -175,11 +175,11 @@ class TestCampaignCrashSafety:
         part = tmp_path / "part.jsonl"
         part.write_bytes(b"".join(lines[:3]) + lines[3][: len(lines[3]) // 2])
 
-        import repro.campaign.runner as runner_module
+        import repro.campaign.driver as driver_module
         executed = []
-        real_execute = runner_module.execute_job
+        real_execute = driver_module.execute_job
         monkeypatch.setattr(
-            runner_module, "execute_job",
+            driver_module, "execute_job",
             lambda job: (executed.append(job.index), real_execute(job))[1],
         )
         code = main(self.ARGV + ["--out", str(part), "--resume"])
@@ -196,9 +196,9 @@ class TestCampaignCrashSafety:
         out = tmp_path / "rows.jsonl"
         assert main(self.ARGV + ["--out", str(out)]) == 0
         expected = out.read_bytes()
-        import repro.campaign.runner as runner_module
+        import repro.campaign.driver as driver_module
         monkeypatch.setattr(
-            runner_module, "execute_job",
+            driver_module, "execute_job",
             lambda job: (_ for _ in ()).throw(AssertionError("no job should run")),
         )
         assert main(self.ARGV + ["--out", str(out), "--resume"]) == 0

@@ -45,6 +45,32 @@ def test_spawn_entry_points_resolvable():
     assert check_repo.check_spawn_entry_points() == []
 
 
+def test_cli_stays_a_thin_adapter():
+    assert check_repo.check_cli_thin_adapter() == []
+
+
+def test_cli_thin_adapter_checker_catches_drift(tmp_path, monkeypatch):
+    # Every forbidden spelling must bite: plain imports, aliased imports,
+    # submodule imports and both from-forms of the batched module — while
+    # the driver import (the sanctioned path) stays clean.
+    bad = tmp_path / "cli.py"
+    bad.write_text(
+        "import multiprocessing\n"
+        "import multiprocessing.pool\n"
+        "import socket as s\n"
+        "from repro.campaign import batched\n"
+        "from repro.campaign.batched import group_jobs\n"
+        "from repro.campaign.driver import CampaignDriver\n"  # allowed
+        "from repro.campaign import driver\n"                 # allowed
+    )
+    monkeypatch.setattr(check_repo, "CLI_PATH", bad)
+    errors = check_repo.check_cli_thin_adapter()
+    assert len(errors) == 5
+    assert all("thin-adapter" in e for e in errors)
+    assert any(":4:" in e and "batched" in e for e in errors)
+    assert not any(":6:" in e or ":7:" in e for e in errors)
+
+
 def test_perf_row_checker_catches_drift(tmp_path, monkeypatch):
     # The schema checker must actually bite: unknown bench names, missing
     # fields and malformed lines all surface as errors.

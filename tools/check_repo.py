@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
 """Repo hygiene checks, tier-1-safe (fast, no network, no state mutation).
 
-These nine checks are registered in the ``repro-lint`` pass registry as
-the ``repo-*`` passes (codes RC001–RC009) — ``tools/staticcheck`` wraps the
+These ten checks are registered in the ``repro-lint`` pass registry as
+the ``repo-*`` passes (codes RC001–RC010) — ``tools/staticcheck`` wraps the
 functions below unchanged, so ``python -m tools.staticcheck`` runs them
 alongside the AST passes with unified ``file:line: CODE message``
 diagnostics.  See ``docs/STATIC_ANALYSIS.md`` for the catalogue.  This
 module remains the historical standalone entry point.
 
-Nine checks, each returning a list of human-readable error strings:
+Ten checks, each returning a list of human-readable error strings:
 
 * ``check_no_tracked_bytecode`` — no ``.pyc`` / ``__pycache__`` entries ever
   re-enter the git index (they were purged once; ``.gitignore`` keeps new
@@ -49,7 +49,12 @@ Nine checks, each returning a list of human-readable error strings:
   the ``"op"`` discriminator, rows never do), and an in-process collector
   fed by two static shards over a real socket merges their streams
   **byte-identically** to the same matrix run locally with ``--jobs 1`` —
-  the distributed sibling of ``check_campaign_rows``'s resume round-trip.
+  the distributed sibling of ``check_campaign_rows``'s resume round-trip;
+* ``check_cli_thin_adapter`` — ``repro/cli.py`` stays a flag-parsing
+  adapter over :mod:`repro.campaign.driver`: it may not import
+  ``multiprocessing``, ``socket`` or ``repro.campaign.batched`` directly,
+  so worker-pool, shard-protocol and batched-engine dispatch cannot grow a
+  fourth copy inside the argparse layer.
 
 Run standalone (``python tools/check_repo.py``, exit 1 on failure) or from
 the test suite (``tests/test_repo_checks.py`` calls :func:`run_checks`).
@@ -261,6 +266,9 @@ PERF_ROW_SCHEMAS: Dict[str, Set[str]] = {
     },
     "row_store_aggregates": {
         "query", "rows", "jsonl_seconds", "store_seconds", "speedup"
+    },
+    "campaign_driver_overhead": {
+        "variant", "runs", "total_steps", "seconds", "overhead"
     },
 }
 
@@ -638,6 +646,64 @@ def check_run_cache_key() -> List[str]:
 
 
 # --------------------------------------------------------------------------- #
+# 10. the CLI stays a thin adapter over the campaign driver
+# --------------------------------------------------------------------------- #
+CLI_PATH = SRC_DIR / "repro" / "cli.py"
+
+#: Module prefixes ``repro/cli.py`` may not import: all dispatch machinery
+#: (worker pools, the shard socket protocol, batched grouping) is reached
+#: through ``repro.campaign.driver``, so a fourth orchestration copy cannot
+#: quietly grow back inside the argparse layer.
+CLI_FORBIDDEN_IMPORTS = ("multiprocessing", "socket", "repro.campaign.batched")
+
+
+def check_cli_thin_adapter() -> List[str]:
+    """``repro/cli.py`` must stay a flag-parsing adapter over the driver.
+
+    AST-walks the CLI module and flags any ``import`` / ``from ... import``
+    whose resolved module is (or sits under) a forbidden prefix — including
+    ``from repro.campaign import batched``-style spellings.
+    """
+    import ast
+
+    try:
+        rel = CLI_PATH.relative_to(REPO_ROOT).as_posix()
+    except ValueError:  # monkeypatched out of the repo in tests
+        rel = CLI_PATH.as_posix()
+    try:
+        tree = ast.parse(CLI_PATH.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError) as exc:
+        return [f"{rel}: cannot parse the CLI module: {exc}"]
+
+    def forbidden(module: str) -> bool:
+        return any(
+            module == banned or module.startswith(banned + ".")
+            for banned in CLI_FORBIDDEN_IMPORTS
+        )
+
+    errors: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names if forbidden(alias.name)]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            names = [
+                f"{base}.{alias.name}" if base else alias.name
+                for alias in node.names
+                if node.level == 0 and (forbidden(base) or forbidden(f"{base}.{alias.name}"))
+            ]
+        else:
+            continue
+        for name in names:
+            errors.append(
+                f"{rel}:{node.lineno}: the CLI imports {name!r} — dispatch "
+                "machinery belongs behind repro.campaign.driver (thin-adapter "
+                "invariant)"
+            )
+    return errors
+
+
+# --------------------------------------------------------------------------- #
 # driver
 # --------------------------------------------------------------------------- #
 CHECKS: List[Callable[[], List[str]]] = [
@@ -650,6 +716,7 @@ CHECKS: List[Callable[[], List[str]]] = [
     check_sink_picklability,
     check_collector_merge,
     check_run_cache_key,
+    check_cli_thin_adapter,
 ]
 
 

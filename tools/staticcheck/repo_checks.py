@@ -19,6 +19,7 @@ RC006     campaign row-schema drift / non-byte-identical resume round-trip
 RC007     row sink classes or fresh instances that do not pickle
 RC008     collector-merged shard streams not byte-identical to ``--jobs 1``
 RC009     run-cache key drift against the row identity block
+RC010     ``repro/cli.py`` imports dispatch machinery (thin-adapter breach)
 ========  ==============================================================
 
 These passes only run against the real repo layout; a fixture-corpus
@@ -150,5 +151,11 @@ REPO_CHECK_PASSES = (
         "repo-run-cache", "RC009",
         "run-cache key drift against ROW_IDENTITY_ATTRS (identity not fully keyed)",
         "src/repro/campaign/store.py", "check_run_cache_key",
+    ),
+    _make_pass(
+        "repo-cli-adapter", "RC010",
+        "repro/cli.py imports multiprocessing/socket/repro.campaign.batched "
+        "directly (dispatch must go through repro.campaign.driver)",
+        "src/repro/cli.py", "check_cli_thin_adapter",
     ),
 )
